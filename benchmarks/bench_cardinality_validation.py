@@ -1,0 +1,26 @@
+"""Cardinality-model validation bench.
+
+Generates TPC-H databases at two small scale factors, really executes
+the workload in the mini engine, and compares each operator's measured
+output cardinality against the analytical model -- the validation that
+licences simulating the paper's SF 1-1000 experiments from the model
+(DESIGN.md §2).
+"""
+
+from repro.experiments import cardinality_validation
+
+
+def test_cardinality_model_validation(benchmark, archive):
+    result = benchmark.pedantic(
+        cardinality_validation.run, rounds=1, iterations=1
+    )
+    archive("cardinality_validation",
+            cardinality_validation.format_table(result))
+
+    # the model is close on average and never wildly off on the
+    # matched operators (small-sample noise bounds the tail)
+    assert result.mean_absolute_error < 0.20
+    assert result.worst_absolute_error < 0.60
+    # coverage: all four queries, both scale factors
+    assert {p.query for p in result.points} == {"Q3", "Q5", "Q10", "Q2C"}
+    assert len({p.scale_factor for p in result.points}) == 2

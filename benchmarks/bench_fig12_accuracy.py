@@ -1,0 +1,36 @@
+"""Figure 12: accuracy of the cost model (Q5 @ SF 100).
+
+Panel (a): actual vs estimated runtime of the chosen plan across MTBFs
+from one month to 30 minutes.  Panel (b): actual vs estimated for all 32
+materialization configurations at MTBF = 1 hour.
+
+Expected shapes (paper Exp. 3a): 0 % error at high MTBF, growing
+underestimation (up to ~30 %) at low MTBF, and a strong correlation
+between the estimated and actual ranking of the 32 configurations.
+"""
+
+from repro.experiments import fig12_accuracy
+
+
+def test_fig12_accuracy(benchmark, archive):
+    result = benchmark.pedantic(fig12_accuracy.run, rounds=1, iterations=1)
+    archive("fig12_accuracy", fig12_accuracy.format_table(result))
+
+    month = result.by_mtbf[0]
+    assert abs(month.error_percent) < 1.0
+
+    # the model underestimates under high failure rates, within ~35 %
+    low_mtbf_points = result.by_mtbf[-2:]
+    assert any(p.error_percent < -5.0 for p in low_mtbf_points)
+    assert all(p.error_percent > -40.0 for p in low_mtbf_points)
+
+    # panel (b): estimated and actual rankings correlate strongly
+    assert len(result.by_config) == 32
+    assert result.rank_correlation > 0.9
+
+    # the estimated range matches the paper's regime: the cheapest
+    # configuration is ~baseline + one wasted half-run, the most
+    # expensive materializes the big lineitem join
+    cheapest, priciest = result.by_config[0], result.by_config[-1]
+    assert priciest.estimated / cheapest.estimated > 1.2
+    assert priciest.actual > cheapest.actual

@@ -1,0 +1,37 @@
+"""Figure 13: effectiveness of the pruning rules.
+
+Sweeps all 1344 cross-product-free join orders of TPC-H Q5 (x 32
+materialization configurations = 43,008 fault-tolerant plans) and
+measures the fraction pruned by each rule for MTBFs of one week, one day
+and one hour.
+
+Expected shapes (paper Section 5.5): Rule 1 prunes a substantial,
+MTBF-invariant fraction; Rules 2 and 3 prune no less at higher MTBFs;
+all rules combined dominate each individual rule.  Absolute percentages
+differ from the paper's because they depend on the optimizer's internal
+cost units (see the experiment module's docstring).
+"""
+
+from repro.experiments import fig13_pruning
+
+
+def test_fig13_pruning_effectiveness(benchmark, archive):
+    result = benchmark.pedantic(fig13_pruning.run, rounds=1, iterations=1)
+    archive("fig13_pruning", fig13_pruning.format_table(result))
+
+    # the paper's join-order count
+    assert result.join_orders == 1344
+    assert all(e.total_ft_plans == 43_008 for e in result.effects)
+
+    week, day, hour = result.effects
+
+    # rule 1 is independent of the MTBF
+    assert week.rule1_percent == day.rule1_percent == hour.rule1_percent
+    assert week.rule1_percent > 10.0
+
+    # rules 2 and 3 prune no less at higher MTBFs
+    assert week.rule2_percent >= hour.rule2_percent
+    # all rules dominate each individual eager rule
+    for effect in result.effects:
+        assert effect.all_rules_percent >= effect.rule1_percent - 1e-9
+        assert effect.all_rules_percent >= effect.rule2_percent - 1e-9

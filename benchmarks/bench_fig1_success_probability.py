@@ -1,0 +1,26 @@
+"""Figure 1: probability of success of a query vs. runtime.
+
+Regenerates the four cluster curves of the paper's motivation figure.
+Expected shape: Cluster 1 (MTBF=1h, n=100) collapses within minutes,
+Cluster 4 (MTBF=1w, n=10) stays near 100 %, and Clusters 2/3 cross 50 %
+inside the plotted range.
+"""
+
+from repro.experiments import fig1_success
+
+
+def test_fig1_success_probability(benchmark, archive):
+    result = benchmark(fig1_success.run)
+    archive("fig1_success_probability", fig1_success.format_table(result))
+
+    curves = result.curves
+    final = {label: curve[-1] for label, curve in curves.items()}
+    # Cluster 1 never finishes long queries; Cluster 4 almost always does
+    assert final["Cluster 1 (MTBF=1 hour,n=100)"] < 1.0
+    assert final["Cluster 4 (MTBF=1 week,n=10)"] > 85.0
+    # the mid clusters cross 50 % within the plotted range: they start at
+    # 100 % and end below the halfway mark, so success depends on runtime
+    for label in ("Cluster 2 (MTBF=1 week,n=100)",
+                  "Cluster 3 (MTBF=1 hour,n=10)"):
+        assert curves[label][0] == 100.0
+        assert curves[label][-1] < 50.0

@@ -1,0 +1,22 @@
+"""Table 2: the paper's worked cost-estimation example.
+
+Regenerates the per-operator breakdown (t, w, gamma, a, T) and the two
+path costs.  With the paper's own rounding protocol the printed values
+(T_Pt1 = 8.13, T_Pt2 = 9.13) come out exactly; exact arithmetic yields
+8.19 / 9.19.  Either way Pt2 is dominant.
+"""
+
+import pytest
+
+from repro.experiments import tab2_example
+
+
+def test_tab2_worked_example(benchmark, archive):
+    result = benchmark(tab2_example.run)
+    archive("tab2_example", tab2_example.format_table(result))
+
+    assert result.rows["{1,2,3}"].gamma == pytest.approx(0.94, abs=0.005)
+    assert result.rows["{4,5}"].attempts == 0.0
+    assert result.rounded_cost_pt1 == pytest.approx(8.13, abs=0.005)
+    assert result.rounded_cost_pt2 == pytest.approx(9.13, abs=0.005)
+    assert result.dominant_path == "Pt2"

@@ -1,0 +1,32 @@
+"""Table 3: robustness of the cost model to perturbed statistics.
+
+Perturbs the MTBF, the I/O costs, and compute + I/O costs by factors
+0.1x / 0.5x / 2x / 10x before ranking Q5's 32 configurations, and reports
+the baseline positions of the perturbed top-5.
+
+Expected shapes (paper Exp. 3b): mild perturbations (0.5x / 2x) only
+shuffle within the top handful of positions with negligible regret;
+extreme perturbations (0.1x / 10x) push materially worse plans to the
+top, with I/O-cost perturbations hurting the most.
+"""
+
+from repro.experiments import tab3_robustness
+
+
+def test_tab3_robustness(benchmark, archive):
+    result = benchmark.pedantic(tab3_robustness.run, rounds=1, iterations=1)
+    archive("tab3_robustness", tab3_robustness.format_table(result))
+
+    assert len(result.baseline_ranking) == 32
+    by_label = {row.label: row for row in result.rows}
+
+    # mild perturbations: the chosen plan stays near-optimal
+    for row in result.rows:
+        if row.factor in (0.5, 2.0):
+            assert result.regret(row) < 1.05
+            assert max(row.top5_baseline_positions) <= 12
+
+    # extreme I/O misestimation is the most damaging case
+    assert max(by_label["I/O costs x0.1"].top5_baseline_positions) > \
+        max(by_label["I/O costs x0.5"].top5_baseline_positions)
+    assert result.regret(by_label["I/O costs x0.1"]) > 1.1

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+formatted table is printed (visible with ``pytest -s``) and archived under
+``benchmarks/results/`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed from the artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Persist a rendered experiment table and echo it to stdout."""
+
+    def _archive(name: str, table: str) -> None:
+        (results_dir / f"{name}.txt").write_text(table + "\n")
+        print(f"\n{table}\n")
+
+    return _archive

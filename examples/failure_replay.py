@@ -1,0 +1,64 @@
+"""Failure replay: watch a query survive injected failures.
+
+Runs TPC-H Q3 in the simulated engine under a deterministic failure
+trace twice -- once with the cost-based materialization configuration and
+once without any checkpoints -- and renders both executions as per-node
+timelines so the recovery behaviour is visible: checkpointed runs restart
+only the failed share from the last materialized intermediate.
+
+This example also really *executes* the query on generated TPC-H data
+first, so the plan being simulated is grounded in actual results.
+
+Run with::
+
+    python examples/failure_replay.py
+"""
+
+from repro.core.strategies import CostBased, NoMatLineage
+from repro.engine import Cluster, SimulatedEngine, generate_trace
+from repro.engine.viz import render_gantt
+from repro.relational import execute
+from repro.stats import default_parameters
+from repro.tpch import QUERIES, build_query_plan, generate
+
+NODES = 4
+MTBF = 600.0           # a failure every ten minutes per node: brutal
+SCALE_FACTOR = 40.0    # simulated scale
+TINY_SF = 0.002        # really-executed scale
+
+
+def main() -> None:
+    # ground the plan: run the real query on generated data first
+    tiny_db = generate(TINY_SF, seed=1)
+    answer = execute(QUERIES["Q3"].physical_tree(tiny_db))
+    print(f"Q3 on a generated TPC-H database (SF {TINY_SF:g}) -- "
+          f"top shipping priorities:")
+    print("  " + answer.pretty(limit=3).replace("\n", "\n  "))
+    print()
+
+    params = default_parameters(nodes=NODES)
+    plan = build_query_plan("Q3", SCALE_FACTOR, params)
+    cluster = Cluster(nodes=NODES, mttr=2.0)
+    stats = cluster.stats(MTBF)
+    engine = SimulatedEngine(cluster)
+    trace = generate_trace(NODES, MTBF, horizon=100_000.0, seed=11)
+
+    for scheme in (NoMatLineage(), CostBased()):
+        configured = scheme.configure(plan, stats)
+        result = engine.execute(configured, trace)
+        baseline = engine.execute(configured).runtime
+        print(f"--- {scheme.name} "
+              f"(checkpoints: {[op_id for op_id, op in configured.plan.operators.items() if op.materialize and plan[op_id].free] or 'none'}) ---")
+        print(f"  failure-free: {baseline:7.0f}s   "
+              f"with failures: {result.runtime:7.0f}s   "
+              f"share restarts: {result.share_restarts}")
+        print(render_gantt(result, nodes=NODES))
+        print()
+
+    print("Legend: '#' useful work, 'x' attempts destroyed by a failure.")
+    print("With checkpoints, a failure wastes only the running sub-plan;")
+    print("without them, the whole lineage re-runs on the failed node.")
+
+
+if __name__ == "__main__":
+    main()

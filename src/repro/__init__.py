@@ -1,0 +1,69 @@
+"""repro -- Cost-based Fault-tolerance for Parallel Data Processing.
+
+A full reproduction of Salama, Binnig, Kraska, Zamanian (SIGMOD 2015):
+a cost-based optimizer that selects which intermediate results of a
+DAG-structured parallel query plan to materialize so that the expected
+query runtime *under mid-query failures* is minimized, together with the
+substrates needed to evaluate it -- a discrete-event cluster simulator
+with failure injection, a mini relational engine, a TPC-H workload
+generator, join-order enumeration, and the paper's complete benchmark
+suite.
+
+Quickstart::
+
+    from repro import ClusterStats, CostBased, linear_plan
+
+    plan = linear_plan([(120, 10), (300, 4), (60, 1)])
+    stats = ClusterStats(mtbf=3600, mttr=1, nodes=10)
+    configured = CostBased().configure(plan, stats)
+    print(configured.plan.pretty())
+"""
+
+from .core import (  # noqa: F401
+    AllMat,
+    ClusterStats,
+    CollapsedPlan,
+    ConfiguredPlan,
+    CostBased,
+    FaultToleranceScheme,
+    NoMatLineage,
+    NoMatRestart,
+    Operator,
+    Plan,
+    PlanError,
+    PruningConfig,
+    RecoveryMode,
+    SearchResult,
+    collapse_plan,
+    estimate_plan_cost,
+    find_best_ft_plan,
+    linear_plan,
+    scheme_by_name,
+    standard_schemes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllMat",
+    "ClusterStats",
+    "CollapsedPlan",
+    "ConfiguredPlan",
+    "CostBased",
+    "FaultToleranceScheme",
+    "NoMatLineage",
+    "NoMatRestart",
+    "Operator",
+    "Plan",
+    "PlanError",
+    "PruningConfig",
+    "RecoveryMode",
+    "SearchResult",
+    "collapse_plan",
+    "estimate_plan_cost",
+    "find_best_ft_plan",
+    "linear_plan",
+    "scheme_by_name",
+    "standard_schemes",
+    "__version__",
+]

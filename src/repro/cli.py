@@ -1,0 +1,327 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``experiments`` -- regenerate the paper's tables and figures
+  (``--list`` to enumerate, ``--only fig11`` to run one);
+* ``advise`` -- recommend a materialization configuration for a TPC-H
+  query on a given cluster;
+* ``simulate`` -- measure all four fault-tolerance schemes for a query
+  in the failure simulator.
+
+Durations accept suffixed values (``90s``, ``15m``, ``2h``, ``1d``,
+``1w``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .core.cost_model import ClusterStats
+from .core.strategies import CostBased, standard_schemes
+from .engine.cluster import Cluster
+from .engine.coordinator import compare_schemes
+from .experiments import (
+    cardinality_validation,
+    fig1_success,
+    fig8_queries,
+    fig10_runtime,
+    fig11_mtbf,
+    fig12_accuracy,
+    fig13_pruning,
+    tab2_example,
+    tab3_robustness,
+)
+from .stats.calibration import default_parameters
+from .tpch.queries import QUERIES, build_query_plan
+
+#: experiment id -> (run, format_table, description)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable, str]] = {
+    "fig1": (fig1_success.run, fig1_success.format_table,
+             "probability of success vs runtime"),
+    "tab2": (tab2_example.run, tab2_example.format_table,
+             "worked cost-estimation example"),
+    "fig8": (fig8_queries.run, fig8_queries.format_table,
+             "overhead for varying queries"),
+    "fig10": (fig10_runtime.run, fig10_runtime.format_table,
+              "overhead vs query runtime"),
+    "fig11": (fig11_mtbf.run, fig11_mtbf.format_table,
+              "overhead vs MTBF"),
+    "fig12": (fig12_accuracy.run, fig12_accuracy.format_table,
+              "cost-model accuracy"),
+    "tab3": (tab3_robustness.run, tab3_robustness.format_table,
+             "robustness to perturbed statistics"),
+    "fig13": (fig13_pruning.run, fig13_pruning.format_table,
+              "pruning effectiveness (slow: 43k plans)"),
+    "cardval": (cardinality_validation.run,
+                cardinality_validation.format_table,
+                "cardinality model vs measured execution"),
+}
+
+_DURATION_UNITS = {
+    "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0,
+}
+
+
+def parse_duration(text: str) -> float:
+    """``"90s" / "15m" / "2h" / "1d" / "1w"`` or plain seconds."""
+    text = text.strip().lower()
+    if text and text[-1] in _DURATION_UNITS:
+        value, unit = text[:-1], _DURATION_UNITS[text[-1]]
+    else:
+        value, unit = text, 1.0
+    try:
+        seconds = float(value) * unit
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {text!r} (use e.g. 90s, 15m, 2h, 1d, 1w)"
+        )
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("duration must be > 0")
+    return seconds
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cost-based fault-tolerance for parallel data processing "
+            "(SIGMOD 2015 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "--only", choices=sorted(EXPERIMENTS),
+        help="run a single experiment",
+    )
+    experiments.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+
+    advise = sub.add_parser(
+        "advise", help="recommend a materialization configuration"
+    )
+    _add_cluster_arguments(advise)
+    advise.add_argument("--query", choices=sorted(QUERIES),
+                        default="Q5", help="TPC-H query (default Q5)")
+    advise.add_argument("--scale-factor", type=float, default=100.0,
+                        help="TPC-H scale factor (default 100)")
+
+    simulate = sub.add_parser(
+        "simulate", help="measure all four schemes in the simulator"
+    )
+    _add_cluster_arguments(simulate)
+    simulate.add_argument("--query", choices=sorted(QUERIES),
+                          default="Q5")
+    simulate.add_argument("--scale-factor", type=float, default=100.0)
+    simulate.add_argument("--traces", type=int, default=10,
+                          help="failure traces per run (default 10)")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    workload = sub.add_parser(
+        "workload",
+        help="run a mixed short/long workload under every scheme",
+    )
+    _add_cluster_arguments(workload)
+    workload.add_argument("--queries", type=int, default=10,
+                          help="workload size (default 10)")
+    workload.add_argument("--seed", type=int, default=7)
+
+    replay = sub.add_parser(
+        "replay",
+        help="render a per-node failure-replay timeline for a query",
+    )
+    _add_cluster_arguments(replay)
+    replay.add_argument("--query", choices=sorted(QUERIES), default="Q3")
+    replay.add_argument("--scale-factor", type=float, default=40.0)
+    replay.add_argument("--seed", type=int, default=11)
+    replay.add_argument(
+        "--scheme", default="cost-based",
+        choices=["all-mat", "no-mat (lineage)", "no-mat (restart)",
+                 "cost-based"],
+    )
+
+    mtbf_cmd = sub.add_parser(
+        "estimate-mtbf",
+        help="estimate the MTBF from an observed failure count",
+    )
+    mtbf_cmd.add_argument("--failures", type=int, required=True,
+                          help="failures observed")
+    mtbf_cmd.add_argument("--hours", type=float, required=True,
+                          help="observation window in hours")
+    mtbf_cmd.add_argument("--nodes", type=int, default=1)
+    mtbf_cmd.add_argument("--confidence", type=float, default=0.95)
+    return parser
+
+
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mtbf", type=parse_duration, default="1d",
+                        help="per-node MTBF, e.g. 2h / 1d / 1w "
+                             "(default 1d)")
+    parser.add_argument("--mttr", type=parse_duration, default="1s",
+                        help="mean time to repair (default 1s)")
+    parser.add_argument("--nodes", type=int, default=10,
+                        help="cluster size (default 10)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    if args.command == "advise":
+        return _run_advise(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "workload":
+        return _run_workload(args)
+    if args.command == "replay":
+        return _run_replay(args)
+    if args.command == "estimate-mtbf":
+        return _run_estimate_mtbf(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_experiments(args) -> int:
+    if args.list:
+        for name, (_, _, description) in sorted(EXPERIMENTS.items()):
+            print(f"{name:<7s} {description}")
+        return 0
+    names: List[str] = [args.only] if args.only else sorted(EXPERIMENTS)
+    for name in names:
+        run, format_table, description = EXPERIMENTS[name]
+        print(f"=== {name}: {description} ===")
+        print(format_table(run()))
+        print()
+    return 0
+
+
+def _run_advise(args) -> int:
+    if args.nodes < 1:
+        print("error: --nodes must be >= 1", file=sys.stderr)
+        return 2
+    params = default_parameters(nodes=args.nodes)
+    plan = build_query_plan(args.query, args.scale_factor, params)
+    stats = ClusterStats(mtbf=args.mtbf, mttr=args.mttr, nodes=args.nodes)
+    configured = CostBased().configure(plan, stats)
+    search = configured.search
+
+    baseline = sum(op.runtime_cost for op in plan.operators.values())
+    print(f"{args.query} @ SF {args.scale_factor:g} on {args.nodes} nodes "
+          f"(MTBF {args.mtbf:.0f}s, MTTR {args.mttr:.0f}s)")
+    print(f"  baseline runtime (no failures): ~{baseline:.0f}s")
+    print(f"  estimated runtime under failures: {search.cost:.0f}s")
+    if search.materialized_ids:
+        print("  materialize these intermediates:")
+        for op_id in search.materialized_ids:
+            operator = plan[op_id]
+            print(f"    [{op_id}] {operator.name} "
+                  f"(tm = {operator.mat_cost:.1f}s)")
+    else:
+        print("  materialize nothing -- run the query straight through")
+    return 0
+
+
+def _run_simulate(args) -> int:
+    if args.nodes < 1 or args.traces < 1:
+        print("error: --nodes and --traces must be >= 1", file=sys.stderr)
+        return 2
+    params = default_parameters(nodes=args.nodes)
+    plan = build_query_plan(args.query, args.scale_factor, params)
+    cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
+    rows = compare_schemes(
+        standard_schemes(), plan, args.query, cluster,
+        mtbf=args.mtbf, trace_count=args.traces, base_seed=args.seed,
+    )
+    print(f"{args.query} @ SF {args.scale_factor:g}: overhead under "
+          f"failures ({args.traces} traces, MTBF {args.mtbf:.0f}s, "
+          f"{args.nodes} nodes)")
+    for row in rows:
+        extra = ""
+        if row.scheme == "cost-based" and row.materialized_ids:
+            extra = f"   materializes {list(row.materialized_ids)}"
+        print(f"  {row.scheme:<18s} {row.formatted_overhead():>9s}{extra}")
+    return 0
+
+
+def _run_workload(args) -> int:
+    if args.nodes < 1 or args.queries < 1:
+        print("error: --nodes and --queries must be >= 1",
+              file=sys.stderr)
+        return 2
+    from .workloads import (
+        compare_workload,
+        format_comparison,
+        generate_mixed_workload,
+    )
+
+    workload = generate_mixed_workload(count=args.queries, seed=args.seed)
+    cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
+    runs = compare_workload(workload, cluster, mtbf=args.mtbf,
+                            seed=args.seed)
+    print(f"{len(workload)} queries back-to-back "
+          f"(MTBF {args.mtbf:.0f}s, {args.nodes} nodes):")
+    print(format_comparison(runs))
+    best = min((run for run in runs if run.finished),
+               key=lambda run: run.makespan)
+    print(f"\nshortest makespan: {best.scheme}")
+    return 0
+
+
+def _run_replay(args) -> int:
+    if args.nodes < 1:
+        print("error: --nodes must be >= 1", file=sys.stderr)
+        return 2
+    from .core.strategies import scheme_by_name
+    from .engine.executor import SimulatedEngine
+    from .engine.traces import generate_trace
+    from .engine.viz import render_gantt
+
+    params = default_parameters(nodes=args.nodes)
+    plan = build_query_plan(args.query, args.scale_factor, params)
+    cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
+    stats = cluster.stats(args.mtbf)
+    engine = SimulatedEngine(cluster)
+    configured = scheme_by_name(args.scheme).configure(plan, stats)
+    baseline = engine.execute(configured).runtime
+    trace = generate_trace(args.nodes, args.mtbf,
+                           horizon=max(baseline * 200.0, args.mtbf * 4.0),
+                           seed=args.seed)
+    result = engine.execute(configured, trace)
+    print(f"{args.query} @ SF {args.scale_factor:g} under {args.scheme} "
+          f"(MTBF {args.mtbf:.0f}s, seed {args.seed})")
+    print(f"failure-free {baseline:.0f}s -> with failures "
+          f"{result.runtime:.0f}s, {result.share_restarts} share restarts, "
+          f"{result.restarts} query restarts")
+    print(render_gantt(result, nodes=args.nodes))
+    print("'#' useful work, 'x' attempts destroyed by a failure")
+    return 0
+
+
+def _run_estimate_mtbf(args) -> int:
+    from .stats.mtbf_estimation import estimate_mtbf
+
+    try:
+        estimate = estimate_mtbf(
+            args.failures,
+            observation_time=args.hours * 3600.0,
+            nodes=args.nodes,
+            confidence=args.confidence,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(estimate)
+    if estimate.failures:
+        print(f"use e.g.: repro advise --mtbf {estimate.mtbf:.0f}s "
+              f"--nodes {args.nodes}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

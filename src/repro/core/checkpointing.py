@@ -1,0 +1,189 @@
+"""Mid-operator checkpointing (the paper's Section 7 future work).
+
+The cost-based scheme recovers at *operator* granularity: a failure
+re-runs the whole collapsed sub-plan.  For very long-running operators
+(whose single-attempt success probability is low even on a healthy
+cluster) the paper proposes additionally checkpointing the *operator
+state* so that mid-operator failures resume from the last snapshot
+instead of the sub-plan's start.
+
+This module adds that strategy on top of the existing machinery:
+
+* the classic **Young-Daly** analysis gives the optimal snapshot interval
+  ``delta* = sqrt(2 * s * MTBF_cost)`` for a per-snapshot cost ``s``;
+* :func:`checkpointed_runtime` prices a collapsed operator that snapshots
+  every ``delta`` seconds by applying the paper's own Eq. 6/8 attempt
+  model *per chunk* -- a failure now wastes at most one chunk;
+* :func:`plan_operator_checkpoints` post-processes a chosen
+  materialization configuration: every collapsed group whose members all
+  support state snapshots gets chunked whenever that lowers its
+  estimated runtime under failures.
+
+Operators advertise snapshot support via
+:attr:`repro.core.plan.Operator.state_ckpt_cost` -- the cost of writing
+one state snapshot (``None`` = the operator's state cannot be captured,
+the default).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .collapse import CollapsedOperator, collapse_plan
+from .cost_model import ClusterStats, operator_runtime
+from .plan import Plan
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Intra-operator checkpointing chosen for one collapsed group."""
+
+    interval: float         #: work seconds between snapshots
+    snapshot_cost: float    #: cost of writing one snapshot
+    estimated_runtime: float  #: T(c) under failures with chunking
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be > 0")
+        if self.snapshot_cost < 0:
+            raise ValueError("snapshot_cost must be >= 0")
+
+    def chunks_for(self, total_cost: float) -> List[float]:
+        """Chunk durations (work only, snapshots excluded) for a share."""
+        if total_cost <= 0:
+            return [0.0]
+        full_chunks = int(total_cost // self.interval)
+        chunks = [self.interval] * full_chunks
+        remainder = total_cost - full_chunks * self.interval
+        if remainder > 1e-12 or not chunks:
+            chunks.append(remainder)
+        return chunks
+
+
+def young_daly_interval(snapshot_cost: float, mtbf_cost: float) -> float:
+    """The classic first-order optimal checkpoint interval.
+
+    ``delta* = sqrt(2 * s * MTBF)`` balances snapshot overhead against
+    expected re-computation; exact for small ``s / MTBF`` and a good
+    starting point everywhere.
+    """
+    if snapshot_cost <= 0:
+        raise ValueError("snapshot_cost must be > 0")
+    if mtbf_cost <= 0:
+        raise ValueError("mtbf_cost must be > 0")
+    return math.sqrt(2.0 * snapshot_cost * mtbf_cost)
+
+
+def checkpointed_runtime(
+    total_cost: float,
+    snapshot_cost: float,
+    stats: ClusterStats,
+    interval: Optional[float] = None,
+    exact_waste: bool = False,
+) -> Tuple[float, float]:
+    """Estimated runtime of an operator that snapshots its state.
+
+    The operator's work is cut into chunks of ``interval`` seconds; each
+    chunk (plus its snapshot) is priced with the paper's per-operator
+    model (Eq. 8), because a failure now only re-runs the current chunk.
+    Returns ``(estimated_runtime, interval_used)``; ``interval=None``
+    picks the Young-Daly interval clamped to the operator's length.
+    """
+    if total_cost < 0:
+        raise ValueError("total_cost must be >= 0")
+    if snapshot_cost <= 0:
+        raise ValueError("snapshot_cost must be > 0")
+    if interval is None:
+        interval = young_daly_interval(snapshot_cost, stats.mtbf_cost)
+    interval = min(max(interval, 1e-9), max(total_cost, 1e-9))
+    spec = CheckpointSpec(interval=interval, snapshot_cost=snapshot_cost,
+                          estimated_runtime=0.0)
+    chunks = spec.chunks_for(total_cost)
+    runtime = 0.0
+    for index, chunk in enumerate(chunks):
+        is_last = index == len(chunks) - 1
+        # the final chunk needs no extra snapshot: the operator's normal
+        # output handling (pipelining or materialization) takes over
+        chunk_cost = chunk + (0.0 if is_last else snapshot_cost)
+        runtime += operator_runtime(chunk_cost, stats,
+                                    exact_waste=exact_waste)
+    return runtime, interval
+
+
+def group_snapshot_cost(plan: Plan,
+                        group: CollapsedOperator) -> Optional[float]:
+    """Per-snapshot cost for a collapsed group, or ``None`` if any
+    member's state cannot be captured.
+
+    Snapshotting a pipelined sub-plan means persisting every in-flight
+    member's state, so the cost is the sum over members.
+    """
+    total = 0.0
+    for member in group.members:
+        member_cost = plan[member].state_ckpt_cost
+        if member_cost is None:
+            return None
+        total += member_cost
+    return total
+
+
+def plan_operator_checkpoints(
+    plan: Plan,
+    stats: ClusterStats,
+    exact_waste: bool = False,
+) -> Dict[int, CheckpointSpec]:
+    """Choose intra-operator checkpoints for a configured plan.
+
+    For each collapsed group of ``plan`` (materialization flags already
+    applied) whose members all support state snapshots, compare the plain
+    estimate ``T(c)`` against the chunked estimate at the Young-Daly
+    interval and keep the checkpointing whenever it is strictly cheaper.
+    Returns a map of group anchor id to the chosen spec.
+    """
+    collapsed = collapse_plan(plan, const_pipe=stats.const_pipe)
+    chosen: Dict[int, CheckpointSpec] = {}
+    for group in collapsed:
+        snapshot_cost = group_snapshot_cost(plan, group)
+        if snapshot_cost is None or snapshot_cost <= 0:
+            continue
+        plain = operator_runtime(group.total_cost, stats,
+                                 exact_waste=exact_waste)
+        chunked, interval = checkpointed_runtime(
+            group.total_cost, snapshot_cost, stats,
+            exact_waste=exact_waste,
+        )
+        if chunked < plain:
+            chosen[group.anchor_id] = CheckpointSpec(
+                interval=interval,
+                snapshot_cost=snapshot_cost,
+                estimated_runtime=chunked,
+            )
+    return chosen
+
+
+def estimated_runtime_with_checkpoints(
+    plan: Plan,
+    stats: ClusterStats,
+    checkpoints: Dict[int, CheckpointSpec],
+    exact_waste: bool = False,
+) -> float:
+    """Dominant-path estimate where checkpointed groups use their
+    chunked runtime.  Mirrors ``estimate_plan_cost`` with T(c) replaced
+    by the chosen per-group model."""
+    from .paths import enumerate_paths
+
+    collapsed = collapse_plan(plan, const_pipe=stats.const_pipe)
+    best = 0.0
+    for path in enumerate_paths(collapsed):
+        total = 0.0
+        for group in path:
+            spec = checkpoints.get(group.anchor_id)
+            if spec is not None:
+                total += spec.estimated_runtime
+            else:
+                total += operator_runtime(group.total_cost, stats,
+                                          exact_waste=exact_waste)
+        best = max(best, total)
+    return best

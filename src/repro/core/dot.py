@@ -1,0 +1,70 @@
+"""Graphviz DOT export for plans and collapsed plans.
+
+``plan_to_dot`` renders the DAG with per-operator costs and flags;
+``collapsed_to_dot`` renders the recovery units.  The output is plain
+DOT text -- pipe it to ``dot -Tsvg`` (no graphviz dependency here).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .collapse import CollapsedPlan
+from .plan import Plan
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def plan_to_dot(plan: Plan, title: str = "plan") -> str:
+    """Render a plan as a DOT digraph.
+
+    Materializing operators are drawn as filled boxes, bound operators
+    with dashed borders; labels carry ``tr``/``tm``.
+    """
+    lines: List[str] = [
+        f'digraph "{_escape(title)}" {{',
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica", fontsize=10];',
+    ]
+    for op_id in plan.topological_order():
+        operator = plan[op_id]
+        label = (f"[{op_id}] {operator.name}\\n"
+                 f"tr={operator.runtime_cost:.3g} "
+                 f"tm={operator.mat_cost:.3g}")
+        styles = []
+        if operator.materialize:
+            styles.append("filled")
+        if not operator.free:
+            styles.append("dashed")
+        style = f', style="{",".join(styles)}"' if styles else ""
+        fill = ', fillcolor="lightblue"' if operator.materialize else ""
+        lines.append(
+            f'  op{op_id} [label="{_escape(label)}"{style}{fill}];'
+        )
+    for producer, consumer in sorted(plan.edges()):
+        lines.append(f"  op{producer} -> op{consumer};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def collapsed_to_dot(collapsed: CollapsedPlan,
+                     title: str = "collapsed") -> str:
+    """Render a collapsed plan's recovery units as a DOT digraph."""
+    lines: List[str] = [
+        f'digraph "{_escape(title)}" {{',
+        "  rankdir=BT;",
+        '  node [shape=box3d, fontname="Helvetica", fontsize=10];',
+    ]
+    for anchor in collapsed.topological_order():
+        group = collapsed[anchor]
+        members = ",".join(str(m) for m in sorted(group.members))
+        label = (f"{{{members}}}\\n"
+                 f"t(c)={group.total_cost:.3g}")
+        lines.append(f'  g{anchor} [label="{_escape(label)}"];')
+    for anchor in collapsed.topological_order():
+        for consumer in sorted(collapsed.consumers(anchor)):
+            lines.append(f"  g{anchor} -> g{consumer};")
+    lines.append("}")
+    return "\n".join(lines)

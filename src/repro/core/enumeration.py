@@ -1,0 +1,231 @@
+"""Fault-tolerant plan enumeration (Listing 1 and Section 3.2).
+
+This module glues the pieces together:
+
+* :func:`enumerate_mat_configs` -- the ``2^n`` materialization
+  configurations over a plan's free operators,
+* :func:`estimate_plan_cost` -- steps 2-4 of the procedure for one
+  fault-tolerant plan ``[P, M_P]`` (collapse, enumerate paths, score them,
+  pick the dominant one), and
+* :func:`find_best_ft_plan` -- Listing 1: search over candidate plans and
+  configurations for the fault-tolerant plan with the cheapest dominant
+  path, with the pruning rules of Section 4 wired in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+from . import cost_model
+from .collapse import CollapsedPlan, collapse_plan
+from .cost_model import ClusterStats
+from .paths import ExecutionPath, enumerate_paths, path_total_costs
+from .plan import Plan
+from .pruning import (
+    DominantPathMemo,
+    PruningConfig,
+    PruningStats,
+    apply_rule1,
+    apply_rule2,
+)
+
+MatConfig = Tuple[Tuple[int, bool], ...]
+
+
+def enumerate_mat_configs(plan: Plan) -> Iterator[MatConfig]:
+    """Yield all materialization configurations over ``plan``'s free ops.
+
+    Configurations are tuples of ``(op_id, materialize)`` pairs covering
+    exactly the free operators, enumerated in a stable order: free ids
+    ascending, bitmask counting up from all-zeros (no materialization) to
+    all-ones (materialize everything).  Bound operators are never touched.
+    """
+    free_ids = plan.free_operators
+    for mask in range(2 ** len(free_ids)):
+        yield tuple(
+            (op_id, bool(mask >> bit & 1))
+            for bit, op_id in enumerate(free_ids)
+        )
+
+
+def count_mat_configs(plan: Plan) -> int:
+    """``2^n`` for ``n`` free operators."""
+    return 2 ** len(plan.free_operators)
+
+
+@dataclass(frozen=True)
+class PlanCostEstimate:
+    """Result of scoring one fault-tolerant plan ``[P, M_P]``.
+
+    Attributes
+    ----------
+    cost:
+        ``T_Pt`` of the dominant path -- the plan's estimated runtime
+        under mid-query failures.
+    failure_free_cost:
+        ``R_Pt`` of the dominant path (no failures).
+    dominant_path:
+        The dominant execution path (collapsed operators).
+    collapsed:
+        The collapsed plan the estimate was computed on.
+    """
+
+    cost: float
+    failure_free_cost: float
+    dominant_path: ExecutionPath
+    collapsed: CollapsedPlan
+
+
+def estimate_plan_cost(
+    plan: Plan,
+    stats: ClusterStats,
+    exact_waste: bool = False,
+) -> PlanCostEstimate:
+    """Steps 2-4 for one fault-tolerant plan: collapse, score, pick dominant.
+
+    The materialization configuration is read from the plan's ``m(o)``
+    flags (apply one with :meth:`Plan.with_mat_config` first).
+    """
+    collapsed = collapse_plan(plan, const_pipe=stats.const_pipe)
+    best: Optional[PlanCostEstimate] = None
+    for path in enumerate_paths(collapsed):
+        costs = path_total_costs(path)
+        total = cost_model.path_cost(costs, stats, exact_waste=exact_waste)
+        if best is None or total > best.cost:
+            best = PlanCostEstimate(
+                cost=total,
+                failure_free_cost=cost_model.path_cost_failure_free(costs),
+                dominant_path=path,
+                collapsed=collapsed,
+            )
+    assert best is not None  # a valid plan always has >= 1 path
+    return best
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of :func:`find_best_ft_plan`."""
+
+    plan: Plan                       #: best plan with ``m(o)`` flags applied
+    mat_config: MatConfig            #: the chosen configuration (free ops)
+    cost: float                      #: estimated runtime under failures
+    estimate: PlanCostEstimate       #: full scoring detail
+    pruning: PruningStats            #: search-effort accounting
+
+    @property
+    def materialized_ids(self) -> Tuple[int, ...]:
+        """Ids of free operators the configuration materializes."""
+        return tuple(op_id for op_id, flag in self.mat_config if flag)
+
+
+def find_best_ft_plan(
+    plans: Iterable[Plan],
+    stats: ClusterStats,
+    pruning: PruningConfig = PruningConfig.none(),
+    exact_waste: bool = False,
+) -> SearchResult:
+    """Listing 1: pick the fault-tolerant plan with the cheapest dominant path.
+
+    Parameters
+    ----------
+    plans:
+        Candidate execution plans (e.g. the top-k join orders from the
+        first phase of ``enumFTPlans``; a single-element list reproduces
+        the paper's per-plan experiments).
+    stats:
+        Cluster statistics for the cost model.
+    pruning:
+        Which of the Section 4 rules to apply.  Rule 1 and 2 bind
+        operators before configuration enumeration; Rule 3 short-circuits
+        path enumeration against the memoized best dominant paths, shared
+        across *all* candidate plans as suggested in Section 4.3.
+    exact_waste:
+        Use the exact wasted-runtime integral instead of ``t(c)/2``.
+
+    Raises
+    ------
+    ValueError
+        If ``plans`` is empty.
+    """
+    pruning_stats = PruningStats()
+    memo = DominantPathMemo()
+    best: Optional[SearchResult] = None
+
+    plan_list = list(plans)
+    if not plan_list:
+        raise ValueError("no candidate plans supplied")
+
+    for plan in plan_list:
+        pruning_stats.configs_total += count_mat_configs(plan)
+        pruned_plan = plan
+        if pruning.rule1:
+            pruned_plan = apply_rule1(
+                pruned_plan, stats.const_pipe, stats_out=pruning_stats
+            )
+        if pruning.rule2:
+            pruned_plan = apply_rule2(
+                pruned_plan, stats, stats_out=pruning_stats
+            )
+
+        for config in enumerate_mat_configs(pruned_plan):
+            pruning_stats.configs_enumerated += 1
+            candidate = pruned_plan.with_mat_config(config)
+            outcome = _score_with_rule3(
+                candidate, stats, memo,
+                use_rule3=pruning.rule3,
+                exact_waste=exact_waste,
+                pruning_stats=pruning_stats,
+            )
+            if outcome is None:
+                continue  # Rule 3 proved it cannot beat the best
+            memo.record_dominant(
+                path_total_costs(outcome.dominant_path), outcome.cost
+            )
+            if best is None or outcome.cost < best.cost:
+                best = SearchResult(
+                    plan=candidate,
+                    mat_config=config,
+                    cost=outcome.cost,
+                    estimate=outcome,
+                    pruning=pruning_stats,
+                )
+    assert best is not None
+    return best
+
+
+def _score_with_rule3(
+    plan: Plan,
+    stats: ClusterStats,
+    memo: DominantPathMemo,
+    use_rule3: bool,
+    exact_waste: bool,
+    pruning_stats: PruningStats,
+) -> Optional[PlanCostEstimate]:
+    """Score one candidate; ``None`` when Rule 3 cuts it off early."""
+    collapsed = collapse_plan(plan, const_pipe=stats.const_pipe)
+    best: Optional[PlanCostEstimate] = None
+    for path in enumerate_paths(collapsed):
+        costs = path_total_costs(path)
+        if use_rule3:
+            decision = memo.should_skip_plan(
+                costs, stats, exact_waste=exact_waste
+            )
+            if decision.estimated is not None:
+                pruning_stats.paths_estimated += 1
+            if decision.skip:
+                pruning_stats.rule3_plan_cutoffs += 1
+                return None
+            total = decision.estimated
+        else:
+            total = cost_model.path_cost(costs, stats, exact_waste=exact_waste)
+            pruning_stats.paths_estimated += 1
+        assert total is not None
+        if best is None or total > best.cost:
+            best = PlanCostEstimate(
+                cost=total,
+                failure_free_cost=cost_model.path_cost_failure_free(costs),
+                dominant_path=path,
+                collapsed=collapsed,
+            )
+    return best

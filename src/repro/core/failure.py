@@ -1,0 +1,86 @@
+"""Failure-model mathematics (Section 1 footnote and Section 2.2).
+
+The paper assumes exponential inter-arrival times between failures with
+independent failures per node, i.e. failures form a Poisson process.  For a
+query running for time ``t`` on ``n`` nodes with a per-node mean time
+between failures ``MTBF``:
+
+* the probability that a *single* node sees no failure in ``t`` is
+  ``e^(-t / MTBF)``;
+* the probability that the whole cluster sees no failure is
+  ``P(N^n_t = 0) = e^(-t * n / MTBF)``; and
+* the probability of at least one mid-query failure is
+  ``P(N^n_t > 0) = 1 - e^(-t * n / MTBF)`` (Figure 1).
+
+These helpers are deliberately free of any engine/cost-unit concerns; they
+take plain times in whatever unit the caller uses consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Convenience time constants (seconds).
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+MONTH = 30 * DAY
+
+
+def success_probability(runtime: float, mtbf: float, nodes: int = 1) -> float:
+    """Probability that no failure occurs during ``runtime``.
+
+    ``P(N^n_t = 0) = e^(-t*n/MTBF)`` for ``nodes`` independent nodes, each
+    with per-node mean time between failures ``mtbf``.
+    """
+    _check_args(runtime, mtbf, nodes)
+    return math.exp(-runtime * nodes / mtbf)
+
+
+def failure_probability(runtime: float, mtbf: float, nodes: int = 1) -> float:
+    """Probability of at least one failure during ``runtime`` (Figure 1)."""
+    return 1.0 - success_probability(runtime, mtbf, nodes)
+
+
+def effective_mtbf(mtbf: float, nodes: int) -> float:
+    """Cluster-level MTBF when ``nodes`` nodes fail independently.
+
+    The superposition of ``n`` Poisson processes with rate ``1/MTBF`` is a
+    Poisson process with rate ``n/MTBF``; the cluster therefore behaves like
+    a single node with ``MTBF/n``.  The paper folds this scaling into
+    ``MTBF_cost``; we expose it explicitly.
+    """
+    _check_args(1.0, mtbf, nodes)
+    return mtbf / nodes
+
+def expected_failures(runtime: float, mtbf: float, nodes: int = 1) -> float:
+    """Expected number of failures within ``runtime`` (Poisson mean)."""
+    _check_args(runtime, mtbf, nodes)
+    return runtime * nodes / mtbf
+
+
+def poisson_pmf(k: int, runtime: float, mtbf: float, nodes: int = 1) -> float:
+    """``P(N^n_t = k)`` -- probability of exactly ``k`` failures."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    _check_args(runtime, mtbf, nodes)
+    mean = expected_failures(runtime, mtbf, nodes)
+    return math.exp(-mean) * mean**k / math.factorial(k)
+
+
+def success_curve(
+    runtimes: Sequence[float], mtbf: float, nodes: int
+) -> "list[float]":
+    """Vector form of :func:`success_probability`, used for Figure 1."""
+    return [success_probability(t, mtbf, nodes) for t in runtimes]
+
+
+def _check_args(runtime: float, mtbf: float, nodes: int) -> None:
+    if runtime < 0:
+        raise ValueError("runtime must be >= 0")
+    if mtbf <= 0:
+        raise ValueError("mtbf must be > 0")
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")

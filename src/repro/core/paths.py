@@ -1,0 +1,65 @@
+"""Execution-path enumeration over collapsed plans (Section 3.4, step 3).
+
+An *execution path* ``Pt`` is a path from a source collapsed operator
+(no incoming edges) to a sink collapsed operator (no outgoing edges) in the
+collapsed plan ``P^c``.  The cost model scores each path; the most
+expensive one -- the *dominant path* -- represents the runtime of the whole
+fault-tolerant plan under inter-operator parallelism.
+
+Enumeration is lazy (a generator) so that pruning Rule 3 can cut the
+enumeration short without paying for the full path set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from .collapse import CollapsedOperator, CollapsedPlan
+
+#: A path is the sequence of collapsed operators from source to sink.
+ExecutionPath = Tuple[CollapsedOperator, ...]
+
+
+def enumerate_paths(collapsed: CollapsedPlan) -> Iterator[ExecutionPath]:
+    """Yield every source-to-sink path of ``collapsed``, deterministically.
+
+    Paths are produced in depth-first order with sorted tie-breaking so the
+    enumeration order is stable across runs (pruning effectiveness numbers
+    depend on it; see Section 5.5).
+    """
+    for source in collapsed.sources:
+        yield from _extend(collapsed, [source])
+
+
+def _extend(
+    collapsed: CollapsedPlan, prefix: List[int]
+) -> Iterator[ExecutionPath]:
+    consumers = sorted(collapsed.consumers(prefix[-1]))
+    if not consumers:
+        yield tuple(collapsed[anchor] for anchor in prefix)
+        return
+    for consumer in consumers:
+        prefix.append(consumer)
+        yield from _extend(collapsed, prefix)
+        prefix.pop()
+
+
+def count_paths(collapsed: CollapsedPlan) -> int:
+    """Number of source-to-sink paths, computed by DP (no enumeration)."""
+    counts = {anchor: 0 for anchor in collapsed.groups}
+    for anchor in collapsed.sources:
+        counts[anchor] = 1
+    for anchor in collapsed.topological_order():
+        for consumer in collapsed.consumers(anchor):
+            counts[consumer] += counts[anchor]
+    return sum(counts[anchor] for anchor in collapsed.sinks)
+
+
+def path_total_costs(path: Sequence[CollapsedOperator]) -> List[float]:
+    """``t(c)`` for each collapsed operator on the path."""
+    return [group.total_cost for group in path]
+
+
+def path_ids(path: Sequence[CollapsedOperator]) -> Tuple[int, ...]:
+    """Anchor ids along the path (stable identity for tests/logging)."""
+    return tuple(group.anchor_id for group in path)

@@ -1,0 +1,176 @@
+"""The fault-tolerance schemes compared in the paper (Section 5.2).
+
+Each scheme decides (a) which intermediates to materialize and (b) the
+recovery granularity used when a mid-query failure occurs:
+
+* ``all-mat`` -- Hadoop-style: every intermediate is materialized; failed
+  sub-plans restart from the last materialized input (fine-grained).
+* ``no-mat (lineage)`` -- Spark/Shark-style: nothing is materialized;
+  lineage re-computes the failed node's sub-plan from the sources
+  (fine-grained, but the whole lineage chain re-runs).
+* ``no-mat (restart)`` -- parallel-database-style: nothing is
+  materialized; any failure restarts the complete query (coarse-grained).
+* ``cost-based`` -- this paper: materialize the subset chosen by the cost
+  model; fine-grained recovery.
+
+A scheme is a small strategy object: ``configure(plan, stats)`` returns the
+plan with its materialization flags set, and ``recovery`` names the
+recovery behaviour the simulated engine must use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .cost_model import ClusterStats
+from .enumeration import SearchResult, find_best_ft_plan
+from .plan import Plan
+from .pruning import PruningConfig
+
+
+class RecoveryMode(enum.Enum):
+    """How the engine reacts to a mid-query failure."""
+
+    #: restart only the failed node's current collapsed sub-plan; its
+    #: materialized inputs survive on fault-tolerant storage.
+    FINE_GRAINED = "fine-grained"
+    #: restart the complete query from scratch.
+    RESTART_QUERY = "restart-query"
+
+
+@dataclass(frozen=True)
+class ConfiguredPlan:
+    """A plan whose materialization flags a scheme has fixed."""
+
+    plan: Plan
+    recovery: RecoveryMode
+    scheme: str
+    #: populated by the cost-based scheme only
+    search: Optional[SearchResult] = None
+    #: intra-operator checkpointing chosen per collapsed-group anchor
+    #: (the mid-operator extension; see repro.core.checkpointing)
+    op_checkpoints: Mapping[int, "CheckpointSpec"] = \
+        field(default_factory=dict)
+
+
+class FaultToleranceScheme:
+    """Base class for the four schemes; subclasses set ``name``."""
+
+    name: str = "abstract"
+
+    def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
+        raise NotImplementedError
+
+    def _uniform_config(self, plan: Plan, materialize: bool) -> Plan:
+        config = {op_id: materialize for op_id in plan.free_operators}
+        return plan.with_mat_config(config)
+
+
+class AllMat(FaultToleranceScheme):
+    """Materialize every free intermediate (Hadoop)."""
+
+    name = "all-mat"
+
+    def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
+        return ConfiguredPlan(
+            plan=self._uniform_config(plan, materialize=True),
+            recovery=RecoveryMode.FINE_GRAINED,
+            scheme=self.name,
+        )
+
+
+class NoMatLineage(FaultToleranceScheme):
+    """Materialize nothing; recover sub-plans via lineage (Spark/Shark)."""
+
+    name = "no-mat (lineage)"
+
+    def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
+        return ConfiguredPlan(
+            plan=self._uniform_config(plan, materialize=False),
+            recovery=RecoveryMode.FINE_GRAINED,
+            scheme=self.name,
+        )
+
+
+class NoMatRestart(FaultToleranceScheme):
+    """Materialize nothing; restart the whole query (parallel database)."""
+
+    name = "no-mat (restart)"
+
+    def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
+        return ConfiguredPlan(
+            plan=self._uniform_config(plan, materialize=False),
+            recovery=RecoveryMode.RESTART_QUERY,
+            scheme=self.name,
+        )
+
+
+class CostBased(FaultToleranceScheme):
+    """This paper's scheme: cost-model-selected materialization subset."""
+
+    name = "cost-based"
+
+    def __init__(
+        self,
+        pruning: PruningConfig = PruningConfig.all(),
+        exact_waste: bool = False,
+    ) -> None:
+        self.pruning = pruning
+        self.exact_waste = exact_waste
+
+    def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
+        result = find_best_ft_plan(
+            [plan], stats,
+            pruning=self.pruning,
+            exact_waste=self.exact_waste,
+        )
+        return ConfiguredPlan(
+            plan=result.plan,
+            recovery=RecoveryMode.FINE_GRAINED,
+            scheme=self.name,
+            search=result,
+        )
+
+
+class CostBasedWithOpCheckpoints(CostBased):
+    """Cost-based materialization plus mid-operator checkpointing.
+
+    The paper's Section 7 extension: after the materialization
+    configuration is chosen, every collapsed group whose members support
+    state snapshots additionally checkpoints its progress at the
+    Young-Daly interval whenever the chunked estimate beats the plain
+    one -- so mid-operator failures resume from the last snapshot rather
+    than re-running the whole sub-plan.
+    """
+
+    name = "cost-based (+op-ckpt)"
+
+    def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
+        from .checkpointing import plan_operator_checkpoints
+
+        base = super().configure(plan, stats)
+        checkpoints = plan_operator_checkpoints(
+            base.plan, stats, exact_waste=self.exact_waste
+        )
+        return ConfiguredPlan(
+            plan=base.plan,
+            recovery=RecoveryMode.FINE_GRAINED,
+            scheme=self.name,
+            search=base.search,
+            op_checkpoints=checkpoints,
+        )
+
+
+#: The scheme line-up of the paper's evaluation, in its reporting order.
+def standard_schemes() -> "list[FaultToleranceScheme]":
+    return [AllMat(), NoMatLineage(), NoMatRestart(), CostBased()]
+
+
+def scheme_by_name(name: str) -> FaultToleranceScheme:
+    """Look up a scheme by its paper name (e.g. ``"cost-based"``)."""
+    for scheme in standard_schemes():
+        if scheme.name == name:
+            return scheme
+    raise KeyError(f"unknown fault-tolerance scheme: {name!r}")

@@ -1,0 +1,65 @@
+"""Simulated parallel data engine with failure injection.
+
+This package replaces the paper's XDB/MySQL testbed: it executes
+fault-tolerant plans ``[P, M_P]`` over a simulated shared-nothing cluster,
+replaying seeded failure traces, and measures achieved runtimes and
+overheads under each fault-tolerance scheme.
+"""
+
+from .adaptive import AdaptiveExecutor, AdaptiveResult, Reconfiguration
+from .cluster import Cluster
+from .coordinator import (
+    ComparisonRow,
+    execute_with_extension,
+    SchemeMeasurement,
+    compare_schemes,
+    measure_scheme,
+    pure_baseline_runtime,
+)
+from .executor import ExecutionResult, SimulatedEngine, TraceExhausted
+from .reference import ReferenceEngine
+from .storage import FaultTolerantStorage, LocalStorage, StorageMedium
+from .timeline import Event, EventKind, NodeInterval, Timeline, node_intervals
+from .viz import render_gantt, render_line_chart, render_overhead_bars
+from .traces import (
+    FailureTrace,
+    generate_weibull_trace,
+    empirical_mtbf,
+    extend_trace,
+    generate_trace,
+    generate_trace_set,
+)
+
+__all__ = [
+    "AdaptiveExecutor",
+    "AdaptiveResult",
+    "Cluster",
+    "Reconfiguration",
+    "ComparisonRow",
+    "Event",
+    "EventKind",
+    "ExecutionResult",
+    "FailureTrace",
+    "FaultTolerantStorage",
+    "LocalStorage",
+    "NodeInterval",
+    "ReferenceEngine",
+    "SchemeMeasurement",
+    "SimulatedEngine",
+    "StorageMedium",
+    "Timeline",
+    "TraceExhausted",
+    "compare_schemes",
+    "execute_with_extension",
+    "empirical_mtbf",
+    "extend_trace",
+    "generate_trace",
+    "generate_trace_set",
+    "generate_weibull_trace",
+    "render_gantt",
+    "render_line_chart",
+    "render_overhead_bars",
+    "measure_scheme",
+    "node_intervals",
+    "pure_baseline_runtime",
+]

@@ -1,0 +1,320 @@
+"""Adaptive mid-query re-optimization (the paper's Section 7 outlook).
+
+The static cost-based scheme decides the materialization configuration
+once, before execution, from *estimates*.  When those estimates are wrong
+-- skewed data, misestimated cardinalities, a stale MTBF -- the chosen
+checkpoints can be far from optimal.  The paper's outlook proposes "more
+dynamic decisions for cases where data is skewed or statistics are hard
+to estimate"; this module implements that idea on the simulator:
+
+* execution proceeds one collapsed group at a time, exactly as the
+  engine schedules them (every completed group's output is materialized
+  by construction, so each group boundary is a natural decision point);
+* after each group completes, the runner compares the *observed* elapsed
+  work against the optimizer's estimate and derives a multiplicative
+  **correction factor** (an exponentially smoothed observed/estimated
+  ratio);
+* the remaining plan's estimates are rescaled by the factor, and the
+  materialization configuration of all *not-yet-started* free operators
+  is re-optimized under the failure cost model;
+* completed work is sunk: its operators are frozen at zero remaining
+  cost with their executed flags.
+
+The adaptive runner therefore needs two views of the query: the
+``estimated`` plan the optimizer believes in, and the ``true`` plan the
+engine executes (in experiments the true plan is a perturbed/skewed
+variant of the estimate; with perfect statistics the two coincide and
+the runner reduces to the static scheme).
+
+Limitation: decision points only exist at materialization boundaries.
+If the initial (misled) decision materializes nothing, the whole query
+is one recovery unit and there is nothing to adapt mid-flight -- a
+production system would plant an early low-cost checkpoint to buy
+itself an observation point, which is exactly the "more dynamic
+decisions" engineering the paper defers to future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.collapse import collapse_plan
+from ..core.cost_model import ClusterStats
+from ..core.enumeration import find_best_ft_plan
+from ..core.plan import Plan
+from ..core.pruning import PruningConfig
+from ..core.strategies import CostBased
+from .executor import ExecutionResult, SimulatedEngine, TraceExhausted
+from .timeline import EventKind, Timeline
+from .traces import FailureTrace
+
+
+@dataclass(frozen=True)
+class Reconfiguration:
+    """One adaptive decision taken at a group boundary."""
+
+    time: float                      #: when the group completed
+    completed_anchor: int            #: the group that just finished
+    correction: float                #: smoothed observed/estimated ratio
+    mat_config: Tuple[Tuple[int, bool], ...]  #: flags chosen for the rest
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of an adaptive run."""
+
+    result: ExecutionResult
+    reconfigurations: Tuple[Reconfiguration, ...]
+    final_correction: float
+
+    @property
+    def runtime(self) -> float:
+        return self.result.runtime
+
+
+class AdaptiveExecutor:
+    """Runs a query with between-group re-optimization.
+
+    Parameters
+    ----------
+    engine:
+        The simulated engine supplying cluster, storage, and skew.
+    stats:
+        Cluster statistics for the optimizer.
+    smoothing:
+        Weight of the newest observation in the exponential smoothing of
+        the correction factor (1.0 = trust only the latest group).
+    pruning:
+        Pruning rules for the embedded configuration searches.
+    """
+
+    def __init__(
+        self,
+        engine: SimulatedEngine,
+        stats: ClusterStats,
+        smoothing: float = 0.5,
+        pruning: PruningConfig = PruningConfig.all(),
+        track_mtbf: bool = False,
+    ) -> None:
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.engine = engine
+        self.stats = stats
+        self.smoothing = smoothing
+        self.pruning = pruning
+        #: also re-estimate the MTBF online from failures observed during
+        #: the run (a Bayesian blend of the configured prior with the
+        #: run's own evidence), so a stale cluster statistic is corrected
+        #: mid-query just like stale cost estimates are
+        self.track_mtbf = track_mtbf
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        true_plan: Plan,
+        estimated_plan: Optional[Plan] = None,
+        trace: Optional[FailureTrace] = None,
+    ) -> AdaptiveResult:
+        """Run ``true_plan``, deciding from ``estimated_plan``.
+
+        ``estimated_plan`` defaults to the true plan (perfect
+        statistics).  Both plans must share operator ids and edges.
+        """
+        if estimated_plan is None:
+            estimated_plan = true_plan
+        _check_same_shape(true_plan, estimated_plan)
+        if trace is None:
+            trace = FailureTrace.empty(self.engine.cluster.nodes)
+
+        # initial static decision from the estimates
+        config = dict(CostBased(pruning=self.pruning).configure(
+            estimated_plan, self.stats
+        ).plan.mat_config())
+
+        timeline = Timeline()
+        seen_failures: Set[Tuple[int, float]] = set()
+        completion: Dict[int, float] = {}
+        completed_ops: Set[int] = set()
+        reconfigurations: List[Reconfiguration] = []
+        correction = 1.0
+        share_restarts = 0
+        clock = 0.0
+
+        while len(completed_ops) < len(true_plan):
+            executable = true_plan.with_mat_config(_free_part(
+                true_plan, config
+            ))
+            collapsed = collapse_plan(
+                executable, const_pipe=self.stats.const_pipe
+            )
+            anchor = self._next_ready_group(
+                collapsed, completion, completed_ops
+            )
+            group = collapsed[anchor]
+            done, restarts = self.engine.run_group(
+                plan=executable,
+                collapsed=collapsed,
+                anchor=anchor,
+                completion=completion,
+                trace=trace,
+                timeline=timeline,
+                seen_failures=seen_failures,
+            )
+            completion[anchor] = done
+            completed_ops |= set(group.members)
+            share_restarts += restarts
+            clock = max(clock, done)
+
+            if len(completed_ops) >= len(true_plan):
+                break
+
+            correction = self._update_correction(
+                correction, estimated_plan, executable, group,
+            )
+            stats = self._current_stats(len(seen_failures), clock)
+            config = self._reoptimize(
+                estimated_plan, config, completed_ops, correction, stats
+            )
+            reconfigurations.append(Reconfiguration(
+                time=done,
+                completed_anchor=anchor,
+                correction=correction,
+                mat_config=tuple(sorted(
+                    (op_id, flag) for op_id, flag in config.items()
+                    if estimated_plan[op_id].free
+                    and op_id not in completed_ops
+                )),
+            ))
+
+        timeline.record(clock, EventKind.QUERY_COMPLETED)
+        result = ExecutionResult(
+            runtime=clock,
+            aborted=False,
+            restarts=0,
+            share_restarts=share_restarts,
+            failures_hit=len(seen_failures),
+            scheme="adaptive cost-based",
+            timeline=timeline,
+        )
+        if clock > trace.horizon:
+            raise TraceExhausted(
+                f"adaptive run needed {clock:.1f}s but the trace only "
+                f"covers {trace.horizon:.1f}s"
+            )
+        return AdaptiveResult(
+            result=result,
+            reconfigurations=tuple(reconfigurations),
+            final_correction=correction,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_ready_group(collapsed, completion, completed_ops) -> int:
+        for anchor in collapsed.topological_order():
+            if anchor in completion:
+                continue
+            if all(p in completion for p in collapsed.producers(anchor)):
+                return anchor
+        raise RuntimeError("no ready group found")  # pragma: no cover
+
+    def _update_correction(
+        self, correction: float, estimated_plan: Plan,
+        executable: Plan, group,
+    ) -> float:
+        """Blend the group's observed/estimated work ratio in.
+
+        Observed work is read from the *true* plan's costs (what the
+        engine actually charged); estimates from the optimizer's view.
+        Skew inflates observation via the slowest node.
+        """
+        estimated = sum(
+            estimated_plan[m].runtime_cost for m in group.members
+        )
+        observed = sum(
+            executable[m].runtime_cost for m in group.members
+        )
+        worst_skew = max(
+            (self.engine.cluster.skew_of(node)
+             for node in range(self.engine.cluster.nodes)),
+            default=1.0,
+        )
+        observed *= worst_skew
+        if estimated <= 0:
+            return correction
+        ratio = observed / estimated
+        return (1 - self.smoothing) * correction + self.smoothing * ratio
+
+    def _current_stats(self, failures_seen: int,
+                       elapsed: float) -> ClusterStats:
+        """Cluster statistics for the next decision.
+
+        With ``track_mtbf``, once the run has seen at least two failures
+        its own maximum-likelihood estimate (observed node-time over
+        failures) replaces the configured prior -- within-query
+        adaptation must react in minutes, and a stale weekly prior would
+        otherwise take a week of evidence to overturn.  With fewer than
+        two failures the prior stands (one failure is compatible with
+        almost any rate).
+        """
+        if not self.track_mtbf or elapsed <= 0 or failures_seen < 2:
+            return self.stats
+        node_time = elapsed * self.engine.cluster.nodes
+        return self.stats.with_mtbf(node_time / failures_seen)
+
+    def _reoptimize(
+        self,
+        estimated_plan: Plan,
+        config: Dict[int, bool],
+        completed_ops: Set[int],
+        correction: float,
+        stats: Optional[ClusterStats] = None,
+    ) -> Dict[int, bool]:
+        """Re-search the configuration of the remaining free operators."""
+        if stats is None:
+            stats = self.stats
+        remaining = Plan()
+        for op_id, operator in estimated_plan.operators.items():
+            if op_id in completed_ops:
+                # sunk work: keep the executed flag, zero remaining cost
+                remaining.add_operator(replace(
+                    operator,
+                    runtime_cost=0.0,
+                    mat_cost=0.0,
+                    materialize=config[op_id],
+                    free=False,
+                ))
+            else:
+                remaining.add_operator(replace(
+                    operator,
+                    runtime_cost=operator.runtime_cost * correction,
+                    mat_cost=operator.mat_cost * correction,
+                    materialize=config[op_id],
+                ))
+        for producer, consumer in estimated_plan.edges():
+            remaining.add_edge(producer, consumer)
+
+        search = find_best_ft_plan([remaining], stats,
+                                   pruning=self.pruning)
+        updated = dict(config)
+        updated.update(search.plan.mat_config())
+        for op_id in completed_ops:
+            updated[op_id] = config[op_id]
+        return updated
+
+
+def _free_part(plan: Plan, config: Dict[int, bool]) -> Dict[int, bool]:
+    """Restrict a full mat-config dict to the plan's free operators."""
+    return {op_id: config[op_id] for op_id in plan.free_operators}
+
+
+def _check_same_shape(true_plan: Plan, estimated_plan: Plan) -> None:
+    if set(true_plan.operators) != set(estimated_plan.operators):
+        raise ValueError("true and estimated plans have different operators")
+    if set(true_plan.edges()) != set(estimated_plan.edges()):
+        raise ValueError("true and estimated plans have different edges")
+    for op_id in true_plan.operators:
+        if true_plan[op_id].free != estimated_plan[op_id].free:
+            raise ValueError(
+                f"operator {op_id}: free flags differ between plans"
+            )

@@ -1,0 +1,211 @@
+"""Query coordinator / experiment harness over the simulated engine.
+
+The paper's coordinator monitors sub-plan execution, restarts failed
+sub-plans, and aborts hopeless queries.  On top of the single-run
+semantics implemented by :class:`~repro.engine.executor.SimulatedEngine`,
+this module provides the *measurement protocol* of Section 5: run each
+scheme over the same set of failure traces, average the runtimes, and
+report the overhead relative to the pure baseline runtime (the no-mat
+plan with no failures and no extra materializations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.cost_model import ClusterStats
+from ..core.plan import Plan
+from ..core.strategies import (
+    ConfiguredPlan,
+    FaultToleranceScheme,
+    NoMatLineage,
+)
+from .cluster import Cluster
+from .executor import ExecutionResult, SimulatedEngine, TraceExhausted
+from .traces import FailureTrace, extend_trace, generate_trace_set
+
+
+@dataclass(frozen=True)
+class SchemeMeasurement:
+    """Aggregated runtimes of one scheme over a trace set."""
+
+    scheme: str
+    baseline: float                   #: pure runtime, no failures, no mats
+    runtimes: "tuple[float, ...]"     #: per-trace achieved runtimes
+    aborted_runs: int                 #: runs that hit the restart limit
+    materialized_ids: "tuple[int, ...]"  #: intermediates the scheme chose
+
+    @property
+    def mean_runtime(self) -> float:
+        """Mean runtime over *finished* runs (inf when all aborted)."""
+        if not self.runtimes:
+            return float("inf")
+        return sum(self.runtimes) / len(self.runtimes)
+
+    @property
+    def overhead(self) -> float:
+        """Overhead fraction: ``mean_runtime / baseline - 1``.
+
+        The paper reports this as a percentage (``overhead * 100``);
+        aborted-only measurements report ``inf`` (rendered "Aborted").
+        """
+        if not self.runtimes:
+            return float("inf")
+        return self.mean_runtime / self.baseline - 1.0
+
+    @property
+    def overhead_percent(self) -> float:
+        overhead = self.overhead
+        return overhead * 100.0 if math.isfinite(overhead) else float("inf")
+
+    @property
+    def all_aborted(self) -> bool:
+        return not self.runtimes and self.aborted_runs > 0
+
+
+def pure_baseline_runtime(
+    plan: Plan, engine: SimulatedEngine, stats: ClusterStats
+) -> float:
+    """The paper's baseline: no failures, no extra materializations.
+
+    Implemented as a failure-free run of the no-mat configuration (bound
+    always-materialized operators keep their cost -- the engine pays them
+    under every scheme).
+    """
+    configured = NoMatLineage().configure(plan, stats)
+    return engine.execute(configured).runtime
+
+
+def measure_scheme(
+    scheme: FaultToleranceScheme,
+    plan: Plan,
+    engine: SimulatedEngine,
+    stats: ClusterStats,
+    traces: Sequence[FailureTrace],
+    baseline: Optional[float] = None,
+) -> SchemeMeasurement:
+    """Run ``scheme`` on ``plan`` once per trace and aggregate runtimes.
+
+    Traces whose horizon proves too short are transparently extended
+    (the extension preserves the original prefix, so results are
+    identical to having generated a longer trace up front).
+    """
+    if baseline is None:
+        baseline = pure_baseline_runtime(plan, engine, stats)
+    configured = scheme.configure(plan, stats)
+    runtimes: List[float] = []
+    aborted = 0
+    for trace in traces:
+        result = _execute_extending(engine, configured, trace)
+        if result.aborted:
+            aborted += 1
+        else:
+            runtimes.append(result.runtime)
+    materialized = tuple(
+        op_id for op_id, op in configured.plan.operators.items()
+        if op.materialize and plan[op_id].free
+    )
+    return SchemeMeasurement(
+        scheme=scheme.name,
+        baseline=baseline,
+        runtimes=tuple(runtimes),
+        aborted_runs=aborted,
+        materialized_ids=materialized,
+    )
+
+
+def execute_with_extension(
+    engine: SimulatedEngine,
+    configured: ConfiguredPlan,
+    trace: FailureTrace,
+    max_extensions: int = 20,
+) -> ExecutionResult:
+    """Run one trace, transparently extending its horizon when needed.
+
+    Extension regenerates from the same seed, so the failure prefix the
+    run already consumed is unchanged -- the result is identical to
+    having generated a longer trace up front.
+    """
+    for _ in range(max_extensions):
+        try:
+            return engine.execute(configured, trace)
+        except TraceExhausted:
+            trace = extend_trace(trace, trace.horizon * 4)
+    raise TraceExhausted(
+        "query did not finish within the maximum trace extension; "
+        "the configuration likely cannot make progress at this MTBF"
+    )
+
+
+#: backwards-compatible private alias
+_execute_extending = execute_with_extension
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (scheme, query) cell of the paper's overhead figures."""
+
+    query: str
+    scheme: str
+    overhead_percent: float
+    aborted: bool
+    materialized_ids: "tuple[int, ...]"
+
+    def formatted_overhead(self) -> str:
+        if self.aborted:
+            return "Aborted"
+        return f"{self.overhead_percent:.0f}%"
+
+
+def compare_schemes(
+    schemes: Sequence[FaultToleranceScheme],
+    plan: Plan,
+    query_name: str,
+    cluster: Cluster,
+    mtbf: float,
+    traces: Optional[Sequence[FailureTrace]] = None,
+    trace_count: int = 10,
+    base_seed: int = 0,
+    const_pipe: float = 1.0,
+) -> List[ComparisonRow]:
+    """The full Section 5.2/5.3 measurement for one query and MTBF.
+
+    Generates a shared trace set (unless one is supplied), measures every
+    scheme against it, and returns overhead rows in scheme order.
+    """
+    stats = cluster.stats(mtbf, const_pipe=const_pipe)
+    engine = SimulatedEngine(cluster, const_pipe=const_pipe)
+    baseline = pure_baseline_runtime(plan, engine, stats)
+    if traces is None:
+        horizon = _default_horizon(baseline, mtbf, cluster)
+        traces = generate_trace_set(
+            cluster.nodes, mtbf, horizon,
+            count=trace_count, base_seed=base_seed,
+        )
+    rows = []
+    for scheme in schemes:
+        measurement = measure_scheme(
+            scheme, plan, engine, stats, traces, baseline=baseline
+        )
+        rows.append(
+            ComparisonRow(
+                query=query_name,
+                scheme=scheme.name,
+                overhead_percent=measurement.overhead_percent,
+                aborted=measurement.all_aborted,
+                materialized_ids=measurement.materialized_ids,
+            )
+        )
+    return rows
+
+
+def _default_horizon(baseline: float, mtbf: float, cluster: Cluster) -> float:
+    """A horizon comfortably beyond any plausible runtime under failures.
+
+    The restart scheme can take up to ``max_restarts`` attempts of the
+    full makespan; fine-grained schemes are far below that.  Traces are
+    extended on demand anyway, so this only sets the starting size.
+    """
+    return max(baseline * 20.0, mtbf * cluster.nodes * 2.0, 1000.0)

@@ -1,0 +1,495 @@
+"""Simulated parallel execution of fault-tolerant plans.
+
+This is the reproduction's substitute for the paper's XDB testbed (10-node
+MySQL cluster): a deterministic simulator that executes a configured plan
+``[P, M_P]`` over a cluster, replaying an injected failure trace, and
+reports the achieved wall-clock runtime.
+
+Execution model
+---------------
+The plan is first collapsed (a collapsed operator is the recovery unit,
+exactly as the real engine splits sub-plans at materialization
+boundaries).  Each collapsed group runs partition-parallel as one
+*sub-plan share* per node.  A share executes the group's dominant path as
+a sequence of segments, one per dominant-path operator:
+
+* a segment cannot start before its *gate*: the completion of every
+  producer group outside the current group that feeds the segment's
+  operator or any of its in-group ancestors (materialization boundaries
+  are blocking, Section 2.1).  Operators with only base-table inputs are
+  gated at time 0, so scans overlap with upstream sub-plans exactly as in
+  a real engine;
+* segment durations are ``tr(o)`` (scaled by ``CONST_pipe`` for
+  multi-operator pipelines, Equation 1); the anchor's materialization
+  cost ``tm`` is appended to the final segment.  Off-dominant-path group
+  members contribute their gates but not their durations -- the same
+  inter-operator-parallelism approximation the paper's cost model makes;
+* a node failure destroys the share's entire in-flight attempt (the
+  sub-plan process dies; nothing of it was materialized).  The node
+  resumes ``MTTR`` later from the first segment -- materialized inputs
+  survive on fault-tolerant storage, so already-passed gates stay
+  satisfied.  With node-local intermediate storage the retry additionally
+  pays the lineage-recomputation cost of the group's ancestors
+  (Section 2.2);
+* the group completes when all node shares complete; the query completes
+  when all sink groups complete.
+
+Recovery granularity follows the configured scheme: ``FINE_GRAINED``
+restarts only failed shares, while ``RESTART_QUERY`` restarts the complete
+query on the first failure during an attempt, aborting after
+``Cluster.max_restarts`` attempts (the paper's protocol: abort after 100
+restarts).
+
+The simulator intentionally honours the same independence assumptions the
+cost model makes (no resource contention between concurrently running
+groups); what it adds over the model is *actual* failure arrival times,
+per-node max effects, full-DAG makespans, and real (not percentile)
+attempt counts -- exactly the gap the accuracy experiment (Figure 12)
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.collapse import CollapsedOperator, CollapsedPlan, collapse_plan
+from ..core.strategies import ConfiguredPlan, RecoveryMode
+from .cluster import Cluster
+from .timeline import EventKind, Timeline
+from .traces import FailureTrace
+
+
+class TraceExhausted(RuntimeError):
+    """A simulated run outlived its failure trace's horizon.
+
+    Regenerate the trace with a larger horizon
+    (:func:`repro.engine.traces.extend_trace`) and re-run.
+    """
+
+
+class QueryAborted(RuntimeError):
+    """Raised internally when the restart limit is exceeded."""
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one simulated run."""
+
+    runtime: float             #: wall-clock completion time (seconds)
+    aborted: bool              #: True when max_restarts was exceeded
+    restarts: int              #: coarse-grained full-query restarts
+    share_restarts: int        #: fine-grained share restarts
+    failures_hit: int          #: failures that destroyed work
+    scheme: str                #: name of the fault-tolerance scheme
+    timeline: Timeline         #: full event log
+
+    @property
+    def finished(self) -> bool:
+        return not self.aborted
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One dominant-path step of a group share."""
+
+    op_id: int
+    gate: float        #: earliest start (external producers' completion)
+    duration: float
+
+
+class SimulatedEngine:
+    """Executes configured plans against failure traces.
+
+    Parameters
+    ----------
+    cluster:
+        Cluster description (nodes, MTTR, storage medium, abort limit).
+    const_pipe:
+        ``CONST_pipe`` used when collapsing plans; keep it identical to
+        the optimizer's value so estimated and simulated runtimes refer
+        to the same collapsed plan.
+    """
+
+    def __init__(self, cluster: Cluster, const_pipe: float = 1.0) -> None:
+        self.cluster = cluster
+        self.const_pipe = const_pipe
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        configured: ConfiguredPlan,
+        trace: Optional[FailureTrace] = None,
+    ) -> ExecutionResult:
+        """Run ``configured`` under ``trace`` (no failures when ``None``)."""
+        if trace is None:
+            trace = FailureTrace.empty(self.cluster.nodes)
+        if trace.nodes != self.cluster.nodes:
+            raise ValueError(
+                f"trace covers {trace.nodes} nodes, cluster has "
+                f"{self.cluster.nodes}"
+            )
+        collapsed = collapse_plan(configured.plan, const_pipe=self.const_pipe)
+        checkpoints = dict(configured.op_checkpoints or {})
+        if configured.recovery is RecoveryMode.RESTART_QUERY:
+            result = self._run_coarse(
+                configured.plan, collapsed, trace, configured.scheme,
+                checkpoints,
+            )
+        else:
+            result = self._run_fine(
+                configured.plan, collapsed, trace, configured.scheme,
+                checkpoints,
+            )
+        if result.runtime > trace.horizon:
+            raise TraceExhausted(
+                f"run needed {result.runtime:.1f}s but the trace only "
+                f"covers {trace.horizon:.1f}s"
+            )
+        return result
+
+    def baseline_runtime(self, configured: ConfiguredPlan) -> float:
+        """Failure-free runtime of the *configured* plan (including its
+        materialization costs).  For the paper's baseline -- the pure
+        runtime without extra materializations -- execute the no-mat
+        configuration instead (``pure_baseline_runtime``)."""
+        return self.execute(configured).runtime
+
+    # ------------------------------------------------------------------
+    # fine-grained recovery
+    # ------------------------------------------------------------------
+    def _run_fine(
+        self,
+        plan,
+        collapsed: CollapsedPlan,
+        trace: FailureTrace,
+        scheme: str,
+        checkpoints: Optional[Dict[int, "CheckpointSpec"]] = None,
+    ) -> ExecutionResult:
+        topo_order = plan.topological_order()
+        timeline = Timeline()
+        seen_failures: Set[Tuple[int, float]] = set()
+        ancestor_cost = self._ancestor_costs(collapsed)
+        completion: Dict[int, float] = {}
+        share_restarts = 0
+
+        checkpoints = checkpoints or {}
+        for anchor in collapsed.topological_order():
+            done, restarts = self.run_group(
+                plan=plan,
+                collapsed=collapsed,
+                anchor=anchor,
+                completion=completion,
+                trace=trace,
+                timeline=timeline,
+                seen_failures=seen_failures,
+                checkpoints=checkpoints,
+                topo_order=topo_order,
+                ancestor_cost=ancestor_cost,
+            )
+            completion[anchor] = done
+            share_restarts += restarts
+
+        runtime = max(completion[sink] for sink in collapsed.sinks)
+        timeline.record(runtime, EventKind.QUERY_COMPLETED)
+        return ExecutionResult(
+            runtime=runtime,
+            aborted=False,
+            restarts=0,
+            share_restarts=share_restarts,
+            failures_hit=len(seen_failures),
+            scheme=scheme,
+            timeline=timeline,
+        )
+
+    def _segments(
+        self,
+        plan,
+        topo_order: Sequence[int],
+        group: CollapsedOperator,
+        completion: Dict[int, float],
+    ) -> List[_Segment]:
+        """Build the share's segment sequence for one collapsed group.
+
+        Each group member's *external gate* is the latest completion of a
+        producer group feeding it; gates propagate to in-group consumers
+        so that a dominant-path segment also waits for the external
+        inputs of its off-path ancestors.
+        """
+        member_set = set(group.members)
+        egate: Dict[int, float] = {}
+        for op_id in topo_order:
+            if op_id not in member_set:
+                continue
+            gate = 0.0
+            for producer in plan.producers(op_id):
+                if producer in member_set:
+                    gate = max(gate, egate[producer])
+                else:
+                    # external producers are materialized anchors
+                    gate = max(gate, completion[producer])
+            egate[op_id] = gate
+
+        pipe = self.const_pipe if len(group.dominant_path) > 1 else 1.0
+        segments = [
+            _Segment(
+                op_id=op_id,
+                gate=egate[op_id],
+                duration=plan[op_id].runtime_cost * pipe,
+            )
+            for op_id in group.dominant_path
+        ]
+        if group.mat_cost > 0:
+            last = segments[-1]
+            segments[-1] = _Segment(
+                op_id=last.op_id,
+                gate=last.gate,
+                duration=last.duration + group.mat_cost,
+            )
+        return segments
+
+    def run_group(
+        self,
+        plan,
+        collapsed: CollapsedPlan,
+        anchor: int,
+        completion: Dict[int, float],
+        trace: FailureTrace,
+        timeline: Timeline,
+        seen_failures: Set[Tuple[int, float]],
+        checkpoints: Optional[Dict[int, "CheckpointSpec"]] = None,
+        topo_order: Optional[Sequence[int]] = None,
+        ancestor_cost: Optional[Dict[int, float]] = None,
+    ) -> Tuple[float, int]:
+        """Execute one collapsed group's shares on every node.
+
+        Producer completions must already be present in ``completion``.
+        Returns ``(group completion time, share restarts)``.  Exposed so
+        the adaptive executor (:mod:`repro.engine.adaptive`) can
+        re-optimize between groups.
+        """
+        checkpoints = checkpoints or {}
+        if topo_order is None:
+            topo_order = plan.topological_order()
+        if ancestor_cost is None:
+            ancestor_cost = self._ancestor_costs(collapsed)
+        group = collapsed[anchor]
+        segments = self._segments(plan, topo_order, group, completion)
+        timeline.record(
+            segments[0].gate, EventKind.GROUP_STARTED, group=anchor
+        )
+        recovery_extra = self.cluster.storage.recovery_extra_cost(
+            ancestor_cost[anchor]
+        )
+        spec = checkpoints.get(anchor)
+        share_restarts = 0
+        node_done: List[float] = []
+        for node in range(self.cluster.nodes):
+            scaled = self._scale_for_node(segments, node)
+            if spec is not None:
+                done, restarts = self._share_completion_chunked(
+                    node=node,
+                    segments=scaled,
+                    spec=spec,
+                    trace=trace,
+                    timeline=timeline,
+                    group=anchor,
+                    seen_failures=seen_failures,
+                )
+            else:
+                done, restarts = self._share_completion(
+                    node=node,
+                    segments=scaled,
+                    recovery_extra=recovery_extra,
+                    trace=trace,
+                    timeline=timeline,
+                    group=anchor,
+                    seen_failures=seen_failures,
+                )
+            timeline.record(
+                done, EventKind.GROUP_COMPLETED, group=anchor, node=node
+            )
+            node_done.append(done)
+            share_restarts += restarts
+        group_done = max(node_done)
+        timeline.record(group_done, EventKind.GROUP_COMPLETED, group=anchor)
+        return group_done, share_restarts
+
+    def _scale_for_node(
+        self, segments: Sequence[_Segment], node: int
+    ) -> List[_Segment]:
+        """Apply the node's skew factor to its share durations."""
+        factor = self.cluster.skew_of(node)
+        if factor == 1.0:
+            return list(segments)
+        return [
+            _Segment(op_id=segment.op_id, gate=segment.gate,
+                     duration=segment.duration * factor)
+            for segment in segments
+        ]
+
+    def _share_completion_chunked(
+        self,
+        node: int,
+        segments: Sequence[_Segment],
+        spec,
+        trace: FailureTrace,
+        timeline: Timeline,
+        group: int,
+        seen_failures: Set[Tuple[int, float]],
+    ) -> Tuple[float, int]:
+        """Share completion with mid-operator checkpointing.
+
+        Each segment's work is cut into chunks per the
+        :class:`~repro.core.checkpointing.CheckpointSpec`; every chunk
+        but the share's last also writes a state snapshot.  Completed
+        chunks are durable on fault-tolerant storage, so a failure only
+        re-runs the current chunk (after ``MTTR``).
+        """
+        current = 0.0
+        restarts = 0
+        started = False
+        flat: List[Tuple[float, float]] = []   # (gate, chunk work)
+        for segment in segments:
+            for chunk in spec.chunks_for(segment.duration):
+                flat.append((segment.gate, chunk))
+        for index, (gate, work) in enumerate(flat):
+            is_last = index == len(flat) - 1
+            duration = work + (0.0 if is_last else spec.snapshot_cost)
+            start = max(current, gate)
+            if not started:
+                timeline.record(start, EventKind.GROUP_STARTED,
+                                group=group, node=node)
+                started = True
+            while True:
+                failure = trace.next_failure(node, start)
+                finish = start + duration
+                if failure is None or failure >= finish:
+                    current = finish
+                    break
+                key = (node, failure)
+                if key not in seen_failures:
+                    seen_failures.add(key)
+                    timeline.record(failure, EventKind.NODE_FAILED,
+                                    node=node)
+                restarts += 1
+                start = max(failure + self.cluster.mttr, gate)
+                timeline.record(start, EventKind.SHARE_RESTARTED,
+                                group=group, node=node)
+        return current, restarts
+
+    def _share_completion(
+        self,
+        node: int,
+        segments: Sequence[_Segment],
+        recovery_extra: float,
+        trace: FailureTrace,
+        timeline: Timeline,
+        group: int,
+        seen_failures: Set[Tuple[int, float]],
+    ) -> Tuple[float, int]:
+        """Completion time of one node's share, replaying its failures.
+
+        Each attempt replays the segment sequence; any failure between
+        the attempt's first working moment and its finish kills the
+        attempt, and the node resumes ``MTTR`` later from segment zero
+        (plus the storage medium's recovery surcharge).
+        """
+        resume = 0.0
+        restarts = 0
+        extra = 0.0
+        first_attempt = True
+        while True:
+            work_start = max(resume, segments[0].gate)
+            if first_attempt:
+                timeline.record(
+                    work_start, EventKind.GROUP_STARTED,
+                    group=group, node=node,
+                )
+                first_attempt = False
+            current = work_start + extra
+            for segment in segments:
+                current = max(current, segment.gate) + segment.duration
+            finish = current
+            failure = trace.next_failure(node, work_start)
+            if failure is None or failure >= finish:
+                return finish, restarts
+            key = (node, failure)
+            if key not in seen_failures:
+                seen_failures.add(key)
+                timeline.record(failure, EventKind.NODE_FAILED, node=node)
+            resume = failure + self.cluster.mttr
+            extra = recovery_extra
+            restarts += 1
+            timeline.record(
+                resume, EventKind.SHARE_RESTARTED, group=group, node=node
+            )
+
+    def _ancestor_costs(self, collapsed: CollapsedPlan) -> Dict[int, float]:
+        """Summed ``t(c)`` of each group's transitive producers.
+
+        Charged as lineage-recomputation cost under node-local storage.
+        A group reachable via several paths is counted once (its output
+        only needs recomputing once).
+        """
+        ancestors: Dict[int, Set[int]] = {}
+        for anchor in collapsed.topological_order():
+            merged: Set[int] = set()
+            for producer in collapsed.producers(anchor):
+                merged.add(producer)
+                merged |= ancestors[producer]
+            ancestors[anchor] = merged
+        return {
+            anchor: sum(collapsed[a].total_cost for a in group_ancestors)
+            for anchor, group_ancestors in ancestors.items()
+        }
+
+    # ------------------------------------------------------------------
+    # coarse-grained recovery (restart the whole query)
+    # ------------------------------------------------------------------
+    def _run_coarse(
+        self,
+        plan,
+        collapsed: CollapsedPlan,
+        trace: FailureTrace,
+        scheme: str,
+        checkpoints: Optional[Dict[int, "CheckpointSpec"]] = None,
+    ) -> ExecutionResult:
+        timeline = Timeline()
+        empty = FailureTrace.empty(self.cluster.nodes)
+        makespan = self._run_fine(plan, collapsed, empty, scheme,
+                                  checkpoints).runtime
+        attempt_start = 0.0
+        restarts = 0
+        while True:
+            finish = attempt_start + makespan
+            hit = trace.first_failure(attempt_start, finish)
+            if hit is None:
+                timeline.record(finish, EventKind.QUERY_COMPLETED)
+                return ExecutionResult(
+                    runtime=finish,
+                    aborted=False,
+                    restarts=restarts,
+                    share_restarts=0,
+                    failures_hit=restarts,
+                    scheme=scheme,
+                    timeline=timeline,
+                )
+            failure_time, node = hit
+            timeline.record(failure_time, EventKind.NODE_FAILED, node=node)
+            restarts += 1
+            if restarts > self.cluster.max_restarts:
+                timeline.record(failure_time, EventKind.QUERY_ABORTED)
+                return ExecutionResult(
+                    runtime=failure_time,
+                    aborted=True,
+                    restarts=restarts,
+                    share_restarts=0,
+                    failures_hit=restarts,
+                    scheme=scheme,
+                    timeline=timeline,
+                )
+            attempt_start = failure_time + self.cluster.mttr
+            timeline.record(attempt_start, EventKind.QUERY_RESTARTED)

@@ -1,0 +1,214 @@
+"""A quantized-time reference executor for cross-validation.
+
+:class:`~repro.engine.executor.SimulatedEngine` computes share
+completions *analytically* (closed-form walks over the failure list).
+This module re-implements the same execution semantics in a deliberately
+different style -- a small-step clock simulation that advances global
+time in fixed quanta, accrues per-share progress, and wipes it when a
+failure lands -- so the two implementations check each other: any
+disagreement beyond the quantization error is a bug in one of them.
+``tests/test_reference_executor.py`` runs the cross-validation on random
+plans, clusters and traces.
+
+Supported semantics (matching the analytic engine):
+
+* groups become ready segment-by-segment (external gates, base work at
+  time 0);
+* a node failure destroys the node's in-flight share attempt; the node
+  resumes ``MTTR`` later from the share's start;
+* per-node skew factors scale share durations;
+* fine-grained recovery only (the coarse scheme's analytic treatment is
+  a two-liner over the makespan and needs no second opinion).
+
+The reference is O(runtime / step) and exists for verification, not
+speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collapse import collapse_plan
+from ..core.strategies import ConfiguredPlan, RecoveryMode
+from .cluster import Cluster
+from .traces import FailureTrace
+
+
+@dataclass
+class _Share:
+    """Per-(group, node) execution state for the stepper."""
+
+    group: int
+    node: int
+    #: (gate, duration) per segment, already skew-scaled
+    segments: List[Tuple[float, float]]
+    segment_index: int = 0
+    progress: float = 0.0          #: work done inside the current segment
+    blocked_until: float = 0.0     #: repairing until this time
+    done_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.done_at is not None
+
+
+class ReferenceEngine:
+    """Quantized-clock executor; see the module docstring.
+
+    ``step`` is the time quantum: progress accrues in whole steps and a
+    failure inside a step destroys the whole attempt, so completion
+    times agree with the analytic engine to within a few steps per
+    failure/segment event.
+    """
+
+    def __init__(self, cluster: Cluster, step: float = 0.01,
+                 const_pipe: float = 1.0) -> None:
+        if step <= 0:
+            raise ValueError("step must be > 0")
+        if cluster.max_restarts < 1:
+            raise ValueError("reference engine needs max_restarts >= 1")
+        self.cluster = cluster
+        self.step = step
+        self.const_pipe = const_pipe
+
+    def execute(
+        self,
+        configured: ConfiguredPlan,
+        trace: Optional[FailureTrace] = None,
+        max_time: float = 1e7,
+    ) -> float:
+        """Run ``configured`` under ``trace`` and return the runtime."""
+        if configured.recovery is not RecoveryMode.FINE_GRAINED:
+            raise ValueError("the reference covers fine-grained recovery")
+        if configured.op_checkpoints:
+            raise ValueError("the reference does not model op snapshots")
+        if trace is None:
+            trace = FailureTrace.empty(self.cluster.nodes)
+
+        plan = configured.plan
+        collapsed = collapse_plan(plan, const_pipe=self.const_pipe)
+        topo = plan.topological_order()
+
+        shares = self._build_shares(plan, topo, collapsed)
+        group_done: Dict[int, float] = {}
+        failure_iters = [list(trace.failures_of(n))
+                         for n in range(self.cluster.nodes)]
+        next_failure_index = [0] * self.cluster.nodes
+
+        clock = 0.0
+        while len(group_done) < len(collapsed.groups):
+            if clock > max_time:
+                raise RuntimeError("reference run exceeded max_time")
+            next_clock = clock + self.step
+
+            # failures first: anything in (clock, next_clock] kills the
+            # node's in-flight attempts and blocks it for MTTR
+            for node in range(self.cluster.nodes):
+                index = next_failure_index[node]
+                failures = failure_iters[node]
+                while index < len(failures) and \
+                        failures[index] <= next_clock:
+                    failure_time = failures[index]
+                    index += 1
+                    for share in shares:
+                        if share.node != node or share.finished:
+                            continue
+                        if self._working(share, collapsed, group_done,
+                                         failure_time):
+                            share.segment_index = 0
+                            share.progress = 0.0
+                        share.blocked_until = max(
+                            share.blocked_until,
+                            failure_time + self.cluster.mttr,
+                        )
+                next_failure_index[node] = index
+
+            # then one quantum of progress per unfinished share
+            for share in shares:
+                if share.finished or next_clock <= share.blocked_until:
+                    continue
+                gate, duration = share.segments[share.segment_index]
+                if not self._gate_open(share, collapsed, group_done,
+                                       clock):
+                    continue
+                share.progress += self.step
+                if share.progress >= duration - 1e-12:
+                    share.segment_index += 1
+                    share.progress = 0.0
+                    if share.segment_index >= len(share.segments):
+                        share.done_at = next_clock
+
+            clock = next_clock
+            self._complete_groups(shares, collapsed, group_done)
+
+        return max(group_done[sink] for sink in collapsed.sinks)
+
+    # ------------------------------------------------------------------
+    def _build_shares(self, plan, topo, collapsed) -> List[_Share]:
+        shares: List[_Share] = []
+        for anchor in collapsed.topological_order():
+            group = collapsed[anchor]
+            member_set = set(group.members)
+            # external gate sources per member (producer anchors)
+            gates: Dict[int, List[int]] = {}
+            for op_id in topo:
+                if op_id not in member_set:
+                    continue
+                sources = []
+                for producer in plan.producers(op_id):
+                    if producer in member_set:
+                        sources.extend(gates.get(producer, []))
+                    else:
+                        sources.append(producer)
+                gates[op_id] = sources
+            pipe = self.const_pipe if len(group.dominant_path) > 1 else 1.0
+            for node in range(self.cluster.nodes):
+                skew = self.cluster.skew_of(node)
+                segments = []
+                for position, op_id in enumerate(group.dominant_path):
+                    duration = plan[op_id].runtime_cost * pipe * skew
+                    if position == len(group.dominant_path) - 1:
+                        duration += group.mat_cost * skew
+                    segments.append((op_id, duration))
+                shares.append(_Share(
+                    group=anchor,
+                    node=node,
+                    segments=[
+                        (0.0, duration) for _, duration in segments
+                    ],
+                ))
+                # store gate producer anchors per segment index
+                shares[-1].gate_sources = [  # type: ignore[attr-defined]
+                    gates[op_id] for op_id, _ in segments
+                ]
+        return shares
+
+    def _gate_open(self, share, collapsed, group_done, clock) -> bool:
+        sources = share.gate_sources[share.segment_index]
+        return all(
+            group_done.get(producer, float("inf")) <= clock
+            for producer in sources
+        )
+
+    def _working(self, share, collapsed, group_done, when) -> bool:
+        """Did the share have an attempt in flight at time ``when``?
+
+        An attempt is in flight once any segment has made progress or
+        its first segment's gates were open before the failure.
+        """
+        if share.segment_index > 0 or share.progress > 0:
+            return True
+        sources = share.gate_sources[0]
+        return all(
+            group_done.get(producer, float("inf")) <= when
+            for producer in sources
+        ) and when >= share.blocked_until
+
+    def _complete_groups(self, shares, collapsed, group_done) -> None:
+        for anchor in collapsed.groups:
+            if anchor in group_done:
+                continue
+            node_shares = [s for s in shares if s.group == anchor]
+            if all(s.finished for s in node_shares):
+                group_done[anchor] = max(s.done_at for s in node_shares)

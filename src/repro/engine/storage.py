@@ -1,0 +1,81 @@
+"""Storage media for materialized intermediates (Section 2.2).
+
+The paper's cost model assumes intermediates are *not* lost by mid-query
+failures -- true when they are written to a separate fault-tolerant medium
+(Hadoop's HDFS, the paper's external iSCSI array).  When intermediates are
+kept in node-local memory instead, a node failure destroys that node's
+partition of every intermediate it holds, and the model becomes optimistic.
+
+We expose both as strategy objects consumed by the simulated executor:
+
+* :class:`FaultTolerantStorage` -- materialized outputs always survive;
+  recovering a failed share re-reads its inputs for free.
+* :class:`LocalStorage` -- a node failure invalidates that node's partition
+  of all locally stored intermediates; before retrying its current share
+  the node must first *recompute* its partition of every ancestor group
+  (lineage-style), which the executor charges as an extra recovery cost.
+
+This is the paper's "future avenue of work"; we include it so the accuracy
+experiment can quantify exactly how optimistic the cost model becomes
+(see ``benchmarks/bench_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class StorageMedium:
+    """Interface: how expensive is recovering a failed group share?"""
+
+    #: human-readable name used in reports
+    name: str = "abstract"
+
+    def survives_node_failure(self) -> bool:
+        """Do materialized intermediates survive a node failure?"""
+        raise NotImplementedError
+
+    def recovery_extra_cost(self, ancestor_cost: float) -> float:
+        """Extra per-attempt cost to restore a failed node's inputs.
+
+        ``ancestor_cost`` is the summed per-node duration of all ancestor
+        groups of the failed share in the collapsed plan.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FaultTolerantStorage(StorageMedium):
+    """External replicated storage: intermediates always survive.
+
+    ``write_factor`` scales materialization cost relative to the
+    estimates (1.0 = estimates are exact); it exists for calibration
+    experiments and defaults to exact.
+    """
+
+    write_factor: float = 1.0
+    name: str = "fault-tolerant"
+
+    def survives_node_failure(self) -> bool:
+        return True
+
+    def recovery_extra_cost(self, ancestor_cost: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LocalStorage(StorageMedium):
+    """Node-local storage: a failure loses the node's intermediates.
+
+    ``recompute_factor`` scales the lineage-recomputation cost; 1.0 means
+    re-running an ancestor costs exactly its original duration.
+    """
+
+    recompute_factor: float = 1.0
+    name: str = "local"
+
+    def survives_node_failure(self) -> bool:
+        return False
+
+    def recovery_extra_cost(self, ancestor_cost: float) -> float:
+        return ancestor_cost * self.recompute_factor

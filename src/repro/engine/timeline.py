@@ -1,0 +1,139 @@
+"""Structured execution-event log for simulated runs.
+
+The simulated engine (:mod:`repro.engine.executor`) emits one event per
+state change -- group started / node share restarted after a failure /
+group completed / query restarted / query finished.  The log serves two
+purposes: the ``failure_replay`` example renders it as a per-node timeline,
+and the integration tests assert recovery semantics against it (e.g. a
+fine-grained scheme never emits ``QUERY_RESTARTED``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    GROUP_STARTED = "group-started"
+    NODE_FAILED = "node-failed"
+    SHARE_RESTARTED = "share-restarted"     #: node re-runs its share of a group
+    GROUP_COMPLETED = "group-completed"
+    QUERY_RESTARTED = "query-restarted"     #: coarse-grained full restart
+    QUERY_COMPLETED = "query-completed"
+    QUERY_ABORTED = "query-aborted"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry.
+
+    ``group`` is the collapsed operator's anchor id (None for query-level
+    events); ``node`` is the node index (None for cluster-level events).
+    """
+
+    time: float
+    kind: EventKind
+    group: Optional[int] = None
+    node: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"t={self.time:10.2f}", self.kind.value]
+        if self.group is not None:
+            parts.append(f"group={self.group}")
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        if self.detail:
+            parts.append(self.detail)
+        return "  ".join(parts)
+
+
+@dataclass
+class Timeline:
+    """Ordered collection of simulation events."""
+
+    events: List[Event] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        kind: EventKind,
+        group: Optional[int] = None,
+        node: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.events.append(
+            Event(time=time, kind=kind, group=group, node=node, detail=detail)
+        )
+
+    def sorted(self) -> List[Event]:
+        """Events by time (stable for ties)."""
+        return sorted(self.events, key=lambda event: event.time)
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        """Readable multi-line rendering (used by ``failure_replay``)."""
+        events = self.sorted()
+        if limit is not None:
+            events = events[:limit]
+        return "\n".join(str(event) for event in events)
+
+
+@dataclass(frozen=True)
+class NodeInterval:
+    """A contiguous span of work a node spent on a group share.
+
+    ``wasted`` marks attempts that were destroyed by a failure; the last
+    interval of a share has ``wasted=False``.
+    """
+
+    node: int
+    group: int
+    start: float
+    end: float
+    wasted: bool
+
+
+def node_intervals(timeline: Timeline) -> List[NodeInterval]:
+    """Reconstruct per-node work intervals from a timeline.
+
+    Pairs each ``GROUP_STARTED``/``SHARE_RESTARTED`` with the following
+    ``NODE_FAILED`` (wasted attempt) or ``GROUP_COMPLETED`` (final
+    attempt) of the same node and group.
+    """
+    open_attempts = {}  # (node, group) -> start time
+    intervals: List[NodeInterval] = []
+    for event in timeline.sorted():
+        key = (event.node, event.group)
+        if event.kind in (EventKind.GROUP_STARTED, EventKind.SHARE_RESTARTED):
+            if event.node is not None:
+                open_attempts[key] = event.time
+        elif event.kind == EventKind.NODE_FAILED:
+            for (node, group), start in list(open_attempts.items()):
+                if node == event.node:
+                    intervals.append(NodeInterval(
+                        node=node, group=group, start=start,
+                        end=event.time, wasted=True,
+                    ))
+                    del open_attempts[(node, group)]
+        elif event.kind == EventKind.GROUP_COMPLETED and event.node is not None:
+            start = open_attempts.pop(key, None)
+            if start is not None:
+                intervals.append(NodeInterval(
+                    node=event.node, group=event.group, start=start,
+                    end=event.time, wasted=False,
+                ))
+    return intervals

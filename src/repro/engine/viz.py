@@ -1,0 +1,128 @@
+"""Terminal visualization: Gantt timelines and line charts.
+
+Everything in this repository reports through a terminal, so the
+visualization layer renders with characters: per-node Gantt lanes from a
+simulation :class:`~repro.engine.timeline.Timeline` (useful work vs.
+attempts destroyed by failures), and simple multi-series line charts for
+curves like Figure 1's success probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .executor import ExecutionResult
+from .timeline import node_intervals
+
+
+def render_gantt(
+    result: ExecutionResult,
+    nodes: int,
+    width: int = 64,
+) -> str:
+    """ASCII per-node execution lanes.
+
+    ``#`` marks useful work, ``x`` marks attempts a failure destroyed.
+    Wasted work stays visible when later useful work overlaps the same
+    columns.
+    """
+    if width < 16:
+        raise ValueError("width must be >= 16")
+    intervals = node_intervals(result.timeline)
+    horizon = max(result.runtime, 1e-9)
+    lines: List[str] = []
+    for node in range(nodes):
+        lane = [" "] * width
+        for interval in intervals:
+            if interval.node != node:
+                continue
+            start = int(interval.start / horizon * (width - 1))
+            end = max(start + 1,
+                      int(interval.end / horizon * (width - 1)))
+            mark = "x" if interval.wasted else "#"
+            for position in range(start, min(end, width)):
+                if lane[position] != "x":
+                    lane[position] = mark
+        lines.append(f"node {node:>2d} |{''.join(lane)}|")
+    lines.append(f"        0{'':{width - 10}s}{horizon:8.0f}s")
+    return "\n".join(lines)
+
+
+def render_line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """Multi-series character line chart.
+
+    Each series gets a distinct glyph; points are nearest-cell plotted
+    over the shared axes.  Good enough to eyeball the shapes the
+    benchmarks assert numerically.
+    """
+    if height < 4 or width < 16:
+        raise ValueError("chart must be at least 4x16")
+    if not series:
+        raise ValueError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length != x length")
+
+    glyphs = "*o+x@%&~"
+    all_values = [v for values in series.values() for v in values]
+    y_min, y_max = min(all_values), max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in zip(x_values, values):
+            column = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y_max - y) / (y_max - y_min) * (height - 1))
+            grid[row][column] = glyph
+
+    lines: List[str] = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:8.1f} |"
+        elif row_index == height - 1:
+            label = f"{y_min:8.1f} |"
+        else:
+            label = f"{'':8s} |"
+        lines.append(label + "".join(row))
+    lines.append(f"{'':8s} +{'-' * width}")
+    lines.append(f"{'':10s}{x_min:<12.1f}{'':{max(width - 24, 0)}s}"
+                 f"{x_max:>12.1f}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{'':10s}{legend}")
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)
+
+
+def render_overhead_bars(
+    overheads: Dict[str, float],
+    width: int = 40,
+    aborted: Optional[Sequence[str]] = None,
+) -> str:
+    """Horizontal bar chart of per-scheme overhead percentages."""
+    aborted = set(aborted or ())
+    finite = [v for v in overheads.values() if v >= 0] or [1.0]
+    peak = max(max(finite), 1.0)
+    lines = []
+    for scheme, overhead in overheads.items():
+        if scheme in aborted:
+            lines.append(f"{scheme:<20s} ABORTED")
+            continue
+        filled = round(max(overhead, 0.0) / peak * width)
+        lines.append(f"{scheme:<20s} {'#' * filled:<{width}s} "
+                     f"{overhead:6.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""The paper's evaluation, experiment by experiment.
+
+Each module reproduces one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and exposes ``run(...)`` returning a
+structured result plus ``format_table(result)`` rendering it the way the
+paper reports it.  The ``benchmarks/`` directory wraps these into
+pytest-benchmark targets; ``EXPERIMENTS.md`` records paper-vs-measured.
+"""
+
+from . import (
+    cardinality_validation,
+    fig1_success,
+    fig8_queries,
+    fig10_runtime,
+    fig11_mtbf,
+    fig12_accuracy,
+    fig13_pruning,
+    tab2_example,
+    tab3_robustness,
+)
+
+__all__ = [
+    "cardinality_validation",
+    "fig1_success",
+    "fig8_queries",
+    "fig10_runtime",
+    "fig11_mtbf",
+    "fig12_accuracy",
+    "fig13_pruning",
+    "tab2_example",
+    "tab3_robustness",
+]

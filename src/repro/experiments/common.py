@@ -1,0 +1,110 @@
+"""Shared plumbing for the evaluation experiments.
+
+Every overhead experiment follows the paper's protocol (Section 5.1/5.2):
+
+1. build the query's costed plan at the experiment's scale factor;
+2. measure the baseline -- the failure-free runtime of the plan without
+   any extra materialization;
+3. generate 10 failure traces for the MTBF under test;
+4. run every fault-tolerance scheme against the *same* traces;
+5. report overhead = mean runtime / baseline - 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.plan import Plan
+from ..core.strategies import FaultToleranceScheme, standard_schemes
+from ..engine.cluster import Cluster
+from ..engine.coordinator import measure_scheme, pure_baseline_runtime
+from ..engine.executor import SimulatedEngine
+from ..engine.traces import FailureTrace, generate_trace_set
+from ..stats.calibration import DEFAULT_NODES, default_parameters
+from ..stats.estimates import CostParameters
+
+#: the paper's cluster configuration
+DEFAULT_MTTR = 1.0
+DEFAULT_TRACES = 10
+
+
+@dataclass(frozen=True)
+class OverheadCell:
+    """One (query, scheme, mtbf) measurement."""
+
+    query: str
+    scheme: str
+    mtbf: float
+    baseline: float
+    overhead_percent: float
+    aborted: bool
+    materialized_ids: "tuple[int, ...]"
+
+    def formatted(self) -> str:
+        if self.aborted:
+            return "Aborted"
+        return f"{self.overhead_percent:.0f}%"
+
+
+def run_overhead_comparison(
+    plan: Plan,
+    query_name: str,
+    mtbf: float,
+    nodes: int = DEFAULT_NODES,
+    mttr: float = DEFAULT_MTTR,
+    trace_count: int = DEFAULT_TRACES,
+    base_seed: int = 0,
+    schemes: Optional[Sequence[FaultToleranceScheme]] = None,
+    traces: Optional[Sequence[FailureTrace]] = None,
+) -> List[OverheadCell]:
+    """Steps 1-5 above for one plan and MTBF."""
+    if schemes is None:
+        schemes = standard_schemes()
+    cluster = Cluster(nodes=nodes, mttr=mttr)
+    stats = cluster.stats(mtbf)
+    engine = SimulatedEngine(cluster)
+    baseline = pure_baseline_runtime(plan, engine, stats)
+    if traces is None:
+        horizon = max(baseline * 20.0, mtbf * 2.0, 1000.0)
+        traces = generate_trace_set(
+            nodes, mtbf, horizon, count=trace_count, base_seed=base_seed
+        )
+    cells = []
+    for scheme in schemes:
+        measurement = measure_scheme(
+            scheme, plan, engine, stats, traces, baseline=baseline
+        )
+        cells.append(OverheadCell(
+            query=query_name,
+            scheme=scheme.name,
+            mtbf=mtbf,
+            baseline=baseline,
+            overhead_percent=measurement.overhead_percent,
+            aborted=measurement.all_aborted,
+            materialized_ids=measurement.materialized_ids,
+        ))
+    return cells
+
+
+def overhead_grid(cells: Sequence[OverheadCell]) -> str:
+    """Render cells as a query x scheme text table (Figure 8 style)."""
+    queries = list(dict.fromkeys(cell.query for cell in cells))
+    schemes = list(dict.fromkeys(cell.scheme for cell in cells))
+    lookup: Dict[tuple, OverheadCell] = {
+        (cell.query, cell.scheme): cell for cell in cells
+    }
+    width = max(len(s) for s in schemes) + 2
+    header = "query".ljust(8) + "".join(s.rjust(width) for s in schemes)
+    lines = [header]
+    for query in queries:
+        row = query.ljust(8)
+        for scheme in schemes:
+            cell = lookup.get((query, scheme))
+            row += (cell.formatted() if cell else "-").rjust(width)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def default_params_for(nodes: int = DEFAULT_NODES) -> CostParameters:
+    return default_parameters(nodes=nodes)

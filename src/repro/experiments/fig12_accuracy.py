@@ -1,0 +1,177 @@
+"""Figure 12: accuracy of the cost model (Exp. 3a).
+
+Panel (a): actual vs. estimated runtime of the cost-based scheme's chosen
+plan for TPC-H Q5 at SF = 100 across MTBFs from one month down to 30
+minutes.  Panel (b): actual vs. estimated runtime of *all 32*
+materialization configurations of Q5's plan (5 free operators) at a fixed
+MTBF of one hour, sorted by estimated runtime.
+
+Expected shapes: estimates track actuals closely for high MTBFs and
+underestimate by up to ~30 % at low MTBFs (the model ignores cross-node
+max effects and uses the dominant path only), and estimated and actual
+rankings of the 32 configurations correlate strongly -- the property that
+makes the model useful for plan *selection*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.enumeration import enumerate_mat_configs, estimate_plan_cost
+from ..core.failure import DAY, HOUR, MINUTE, MONTH, WEEK
+from ..core.strategies import ConfiguredPlan, CostBased, RecoveryMode
+from ..engine.cluster import Cluster
+from ..engine.coordinator import execute_with_extension
+from ..engine.executor import SimulatedEngine
+from ..engine.traces import generate_trace_set
+from ..tpch.queries import build_query_plan
+from .common import DEFAULT_MTTR, DEFAULT_NODES, default_params_for
+
+#: the paper's MTBF range, one month down to 30 minutes
+PAPER_MTBFS: Tuple[Tuple[str, float], ...] = (
+    ("MTBF=1 month", MONTH),
+    ("MTBF=1 week", WEEK),
+    ("MTBF=1 day", DAY),
+    ("MTBF=1 hour", HOUR),
+    ("MTBF=30 min", 30 * MINUTE),
+)
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    label: str
+    estimated: float
+    actual: float
+
+    @property
+    def error_percent(self) -> float:
+        """Relative estimation error ((estimated - actual) / actual)."""
+        return 100.0 * (self.estimated - self.actual) / self.actual
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    #: panel (a): one point per MTBF
+    by_mtbf: Tuple[AccuracyPoint, ...]
+    #: panel (b): one point per materialization configuration,
+    #: sorted ascending by estimated runtime
+    by_config: Tuple[AccuracyPoint, ...]
+    #: Spearman rank correlation between estimated and actual in panel (b)
+    rank_correlation: float
+
+
+def run(
+    scale_factor: float = 100.0,
+    nodes: int = DEFAULT_NODES,
+    trace_count: int = 10,
+    panel_b_mtbf: float = HOUR,
+    mtbfs: Sequence[Tuple[str, float]] = PAPER_MTBFS,
+    base_seed: int = 1200,
+) -> Fig12Result:
+    params = default_params_for(nodes)
+    plan = build_query_plan("Q5", scale_factor, params)
+    cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
+    engine = SimulatedEngine(cluster)
+
+    by_mtbf: List[AccuracyPoint] = []
+    for index, (label, mtbf) in enumerate(mtbfs):
+        stats = cluster.stats(mtbf)
+        configured = CostBased().configure(plan, stats)
+        estimated = configured.search.cost
+        actual = _mean_actual(
+            engine, configured, mtbf, nodes,
+            trace_count, base_seed + index,
+        )
+        by_mtbf.append(AccuracyPoint(
+            label=label, estimated=estimated, actual=actual
+        ))
+
+    stats = cluster.stats(panel_b_mtbf)
+    by_config: List[AccuracyPoint] = []
+    for config_index, config in enumerate(enumerate_mat_configs(plan)):
+        candidate = plan.with_mat_config(config)
+        estimate = estimate_plan_cost(candidate, stats)
+        configured = ConfiguredPlan(
+            plan=candidate,
+            recovery=RecoveryMode.FINE_GRAINED,
+            scheme=f"config-{config_index}",
+        )
+        actual = _mean_actual(
+            engine, configured, panel_b_mtbf, nodes,
+            trace_count, base_seed + 100,
+        )
+        by_config.append(AccuracyPoint(
+            label=_config_label(config),
+            estimated=estimate.cost,
+            actual=actual,
+        ))
+    by_config.sort(key=lambda point: point.estimated)
+    return Fig12Result(
+        by_mtbf=tuple(by_mtbf),
+        by_config=tuple(by_config),
+        rank_correlation=_spearman(
+            [p.estimated for p in by_config],
+            [p.actual for p in by_config],
+        ),
+    )
+
+
+def _mean_actual(
+    engine: SimulatedEngine,
+    configured,
+    mtbf: float,
+    nodes: int,
+    trace_count: int,
+    base_seed: int,
+) -> float:
+    baseline_hint = engine.execute(configured).runtime
+    horizon = max(baseline_hint * 20.0, mtbf * 2.0, 1000.0)
+    traces = generate_trace_set(
+        nodes, mtbf, horizon, count=trace_count, base_seed=base_seed
+    )
+    runtimes = [
+        execute_with_extension(engine, configured, trace).runtime
+        for trace in traces
+    ]
+    return float(np.mean(runtimes))
+
+
+def _config_label(config) -> str:
+    materialized = [str(op_id) for op_id, flag in config if flag]
+    return "{" + ",".join(materialized) + "}"
+
+
+def _spearman(a: Sequence[float], b: Sequence[float]) -> float:
+    rank_a = np.argsort(np.argsort(a))
+    rank_b = np.argsort(np.argsort(b))
+    if len(a) < 2:
+        return 1.0
+    return float(np.corrcoef(rank_a, rank_b)[0, 1])
+
+
+def format_table(result: Fig12Result) -> str:
+    lines = ["Figure 12(a) -- accuracy across MTBFs (Q5 @ SF 100):",
+             f"{'MTBF':<16s}{'estimated(s)':>14s}{'actual(s)':>12s}"
+             f"{'error':>9s}"]
+    for point in result.by_mtbf:
+        lines.append(
+            f"{point.label:<16s}{point.estimated:>14.0f}"
+            f"{point.actual:>12.0f}{point.error_percent:>8.1f}%"
+        )
+    lines.append("")
+    lines.append("Figure 12(b) -- all 32 configurations at MTBF=1 hour "
+                 "(sorted by estimate):")
+    lines.append(f"{'rank':<6s}{'materialized':<20s}"
+                 f"{'estimated(s)':>14s}{'actual(s)':>12s}")
+    for rank, point in enumerate(result.by_config, start=1):
+        lines.append(
+            f"{rank:<6d}{point.label:<20s}{point.estimated:>14.0f}"
+            f"{point.actual:>12.0f}"
+        )
+    lines.append("")
+    lines.append(f"Spearman rank correlation (estimated vs actual): "
+                 f"{result.rank_correlation:.3f}")
+    return "\n".join(lines)

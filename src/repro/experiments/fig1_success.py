@@ -1,0 +1,74 @@
+"""Figure 1: probability of success of a query vs. runtime.
+
+Reproduces the paper's motivation figure: for four cluster setups
+(crossing MTBF in {1 hour, 1 week} with cluster size in {10, 100}), the
+probability that a query of a given runtime finishes without any
+mid-query failure, ``P(N^n_t = 0) = e^(-t*n/MTBF)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..core import failure
+from ..core.failure import HOUR, MINUTE, WEEK
+
+
+@dataclass(frozen=True)
+class ClusterSetup:
+    """One curve of Figure 1."""
+
+    label: str
+    mtbf: float        #: per-node MTBF, seconds
+    nodes: int
+
+
+#: the paper's four cluster setups, in Figure 1's legend order
+PAPER_CLUSTERS: Tuple[ClusterSetup, ...] = (
+    ClusterSetup("Cluster 1 (MTBF=1 hour,n=100)", HOUR, 100),
+    ClusterSetup("Cluster 2 (MTBF=1 week,n=100)", WEEK, 100),
+    ClusterSetup("Cluster 3 (MTBF=1 hour,n=10)", HOUR, 10),
+    ClusterSetup("Cluster 4 (MTBF=1 week,n=10)", WEEK, 10),
+)
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    runtimes_min: Tuple[float, ...]
+    #: cluster label -> success probability (%) per runtime
+    curves: Dict[str, Tuple[float, ...]]
+
+
+def run(
+    max_runtime_min: float = 160.0,
+    step_min: float = 10.0,
+    clusters: Sequence[ClusterSetup] = PAPER_CLUSTERS,
+) -> Fig1Result:
+    """Compute the success-probability curves on Figure 1's axes."""
+    steps = int(max_runtime_min / step_min)
+    runtimes_min = tuple(step_min * i for i in range(steps + 1))
+    curves: Dict[str, Tuple[float, ...]] = {}
+    for cluster in clusters:
+        curves[cluster.label] = tuple(
+            100.0 * failure.success_probability(
+                runtime * MINUTE, cluster.mtbf, cluster.nodes
+            )
+            for runtime in runtimes_min
+        )
+    return Fig1Result(runtimes_min=runtimes_min, curves=curves)
+
+
+def format_table(result: Fig1Result) -> str:
+    """Figure 1 as a text table (runtime rows x cluster columns)."""
+    labels = list(result.curves)
+    header = "runtime(min)".ljust(14) + "".join(
+        f"{label.split('(')[0].strip():>12s}" for label in labels
+    )
+    lines = [header]
+    for index, runtime in enumerate(result.runtimes_min):
+        cells = "".join(
+            f"{result.curves[label][index]:>11.1f}%" for label in labels
+        )
+        lines.append(f"{runtime:<14.0f}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Figure 8: overhead of the four schemes for varying queries.
+
+The paper runs Q1, Q3, Q5, Q1C and Q2C over a TPC-H database of SF = 100
+and injects failures with two MTBF settings per query:
+
+* **low MTBF** -- 1.1x the query's baseline runtime (high failure rate;
+  Figure 8a), and
+* **high MTBF** -- 10x the baseline runtime (low failure rate;
+  Figure 8b).
+
+Expected shapes: the cost-based scheme always has the least (or tied)
+overhead; no-mat (restart) aborts every query at low MTBF; at high MTBF
+the all-mat scheme pays a visible materialization tax on Q1C/Q2C whose
+intermediates are expensive to write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..engine.cluster import Cluster
+from ..engine.coordinator import pure_baseline_runtime
+from ..engine.executor import SimulatedEngine
+from ..tpch.queries import build_query_plan
+from .common import (
+    DEFAULT_MTTR,
+    DEFAULT_NODES,
+    OverheadCell,
+    default_params_for,
+    overhead_grid,
+    run_overhead_comparison,
+)
+
+PAPER_QUERIES: Tuple[str, ...] = ("Q1", "Q3", "Q5", "Q1C", "Q2C")
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    low_mtbf_cells: Tuple[OverheadCell, ...]     #: Figure 8(a)
+    high_mtbf_cells: Tuple[OverheadCell, ...]    #: Figure 8(b)
+    baselines: Dict[str, float]
+
+
+def run(
+    scale_factor: float = 100.0,
+    queries: Sequence[str] = PAPER_QUERIES,
+    nodes: int = DEFAULT_NODES,
+    trace_count: int = 10,
+    base_seed: int = 800,
+) -> Fig8Result:
+    """Measure both Figure 8 panels."""
+    params = default_params_for(nodes)
+    cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
+    engine = SimulatedEngine(cluster)
+
+    low_cells: List[OverheadCell] = []
+    high_cells: List[OverheadCell] = []
+    baselines: Dict[str, float] = {}
+    for query_name in queries:
+        plan = build_query_plan(query_name, scale_factor, params)
+        baseline = pure_baseline_runtime(
+            plan, engine, cluster.stats(mtbf=1.0)
+        )
+        baselines[query_name] = baseline
+        low_cells.extend(run_overhead_comparison(
+            plan, query_name, mtbf=1.1 * baseline,
+            nodes=nodes, trace_count=trace_count, base_seed=base_seed,
+        ))
+        high_cells.extend(run_overhead_comparison(
+            plan, query_name, mtbf=10.0 * baseline,
+            nodes=nodes, trace_count=trace_count, base_seed=base_seed + 1,
+        ))
+    return Fig8Result(
+        low_mtbf_cells=tuple(low_cells),
+        high_mtbf_cells=tuple(high_cells),
+        baselines=baselines,
+    )
+
+
+def format_table(result: Fig8Result) -> str:
+    lines = ["Figure 8(a) -- low MTBF (1.1x baseline runtime):"]
+    lines.append(overhead_grid(result.low_mtbf_cells))
+    lines.append("")
+    lines.append("Figure 8(b) -- high MTBF (10x baseline runtime):")
+    lines.append(overhead_grid(result.high_mtbf_cells))
+    lines.append("")
+    lines.append("baseline runtimes (s): " + ", ".join(
+        f"{q}={b:.0f}" for q, b in result.baselines.items()
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Table 3: robustness of the cost model to inaccurate statistics (Exp. 3b).
+
+Protocol (Section 5.4): rank all 32 materialization configurations of
+TPC-H Q5 (SF = 100, MTBF = 1 hour) by their estimated runtime with exact
+statistics -- the *baseline ranking*.  Then perturb the statistics the
+optimizer sees (MTBF, I/O costs, or compute + I/O costs, each by factors
+0.1x / 0.5x / 2x / 10x), re-rank, and report which baseline positions the
+perturbed top-5 now occupies.  Small numbers mean the perturbation barely
+hurt; a 28 in the top row means the optimizer picked a plan that was
+28th-best under the true statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.cost_model import ClusterStats
+from ..core.enumeration import enumerate_mat_configs, estimate_plan_cost
+from ..core.failure import HOUR
+from ..core.plan import Plan
+from ..stats.perturbation import (
+    PAPER_FACTORS,
+    PerturbationKind,
+    perturb_plan,
+    perturb_stats,
+)
+from ..tpch.queries import build_query_plan
+from .common import DEFAULT_MTTR, DEFAULT_NODES, default_params_for
+
+MatConfigKey = Tuple[Tuple[int, bool], ...]
+
+
+@dataclass(frozen=True)
+class Tab3Row:
+    kind: PerturbationKind
+    factor: float
+    #: baseline positions (1-based) of the perturbed ranking's top-5
+    top5_baseline_positions: Tuple[int, ...]
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind.value} x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class Tab3Result:
+    #: configurations ordered by exact-statistics estimate (the baseline)
+    baseline_ranking: Tuple[MatConfigKey, ...]
+    rows: Tuple[Tab3Row, ...]
+    #: estimated runtimes of the baseline ranking (for regret analysis)
+    baseline_costs: Tuple[float, ...]
+
+    def regret(self, row: Tab3Row) -> float:
+        """True-cost ratio of the perturbed winner vs the true optimum."""
+        winner_position = row.top5_baseline_positions[0]
+        return (
+            self.baseline_costs[winner_position - 1]
+            / self.baseline_costs[0]
+        )
+
+
+def _ranking(plan: Plan, stats: ClusterStats) -> List[MatConfigKey]:
+    scored = []
+    for config in enumerate_mat_configs(plan):
+        candidate = plan.with_mat_config(config)
+        estimate = estimate_plan_cost(candidate, stats)
+        scored.append((estimate.cost, config))
+    scored.sort(key=lambda item: item[0])
+    return [config for _, config in scored]
+
+
+def run(
+    scale_factor: float = 100.0,
+    mtbf: float = HOUR,
+    nodes: int = DEFAULT_NODES,
+    factors: Sequence[float] = PAPER_FACTORS,
+) -> Tab3Result:
+    params = default_params_for(nodes)
+    plan = build_query_plan("Q5", scale_factor, params)
+    stats = ClusterStats(mtbf=mtbf, mttr=DEFAULT_MTTR, nodes=nodes)
+
+    baseline_ranking = _ranking(plan, stats)
+    position_of: Dict[MatConfigKey, int] = {
+        config: index + 1 for index, config in enumerate(baseline_ranking)
+    }
+    baseline_costs = []
+    for config in baseline_ranking:
+        estimate = estimate_plan_cost(plan.with_mat_config(config), stats)
+        baseline_costs.append(estimate.cost)
+
+    rows: List[Tab3Row] = []
+    for kind in PerturbationKind:
+        for factor in factors:
+            perturbed_plan = perturb_plan(plan, kind, factor)
+            perturbed_stats = perturb_stats(stats, kind, factor)
+            perturbed_ranking = _ranking(perturbed_plan, perturbed_stats)
+            rows.append(Tab3Row(
+                kind=kind,
+                factor=factor,
+                top5_baseline_positions=tuple(
+                    position_of[config]
+                    for config in perturbed_ranking[:5]
+                ),
+            ))
+    return Tab3Result(
+        baseline_ranking=tuple(baseline_ranking),
+        rows=tuple(rows),
+        baseline_costs=tuple(baseline_costs),
+    )
+
+
+def format_table(result: Tab3Result) -> str:
+    lines = [
+        "Table 3 -- baseline positions of the perturbed top-5 "
+        "(1 2 3 4 5 = unaffected):",
+        f"{'perturbation':<28s}{'top-5 baseline positions':>30s}"
+        f"{'regret':>9s}",
+    ]
+    for row in result.rows:
+        positions = " ".join(f"{p:>2d}" for p in row.top5_baseline_positions)
+        lines.append(
+            f"{row.label:<28s}{positions:>30s}"
+            f"{result.regret(row):>8.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Join-order enumeration: join graphs, DP top-k optimization, and the
+exhaustive cross-product-free enumeration of the pruning experiment."""
+
+from .dp import RankedTree, top_k_plans
+from .exhaustive import count_join_trees, enumerate_join_trees
+from .graph import JoinEdge, JoinGraph, Relation
+from .tpch_graphs import q3_join_graph, q5_join_graph
+from .trees import JoinTree, cout_cost, left_deep, tree_to_plan
+
+__all__ = [
+    "JoinEdge",
+    "JoinGraph",
+    "JoinTree",
+    "RankedTree",
+    "Relation",
+    "count_join_trees",
+    "cout_cost",
+    "enumerate_join_trees",
+    "left_deep",
+    "q3_join_graph",
+    "q5_join_graph",
+    "top_k_plans",
+    "tree_to_plan",
+]

@@ -1,0 +1,103 @@
+"""Dynamic-programming join-order optimization with top-k output.
+
+Implements the first phase of the paper's ``enumFTPlans`` (Section 3.2):
+"use dynamic programming to find the top-k plans (produced by the last
+iteration) ordered ascending by their cost without mid-query failures".
+
+The DP runs bottom-up over connected subgraphs (DPsub-style), keeping the
+``k`` cheapest join trees per relation subset under the ``C_out`` cost
+function.  Keeping top-k partial plans (instead of just the optimum)
+guarantees the final level really contains the k cheapest complete trees
+under an additive cost function.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from .graph import JoinGraph
+from .trees import JoinTree
+
+
+@dataclass(frozen=True)
+class RankedTree:
+    """A join tree with its failure-free cost."""
+
+    cost: float
+    tree: JoinTree
+
+
+def top_k_plans(graph: JoinGraph, k: int = 5) -> List[RankedTree]:
+    """The ``k`` cheapest cross-product-free join trees by ``C_out``.
+
+    Raises :class:`ValueError` for disconnected join graphs (they would
+    force cartesian products).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    names = graph.relation_names
+    if not names:
+        raise ValueError("empty join graph")
+    if not graph.connected(names):
+        raise ValueError("join graph is disconnected")
+
+    #: subset -> top-k (cost, tree) ascending by cost
+    best: Dict[FrozenSet[str], List[RankedTree]] = {}
+    for name in names:
+        best[frozenset((name,))] = [RankedTree(0.0, JoinTree.leaf(name))]
+
+    for size in range(2, len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            subset = frozenset(combo)
+            if not graph.connected(subset):
+                continue
+            out_rows = graph.set_cardinality(subset)
+            candidates: List[RankedTree] = []
+            for left, right in _ordered_splits(graph, subset):
+                if left not in best or right not in best:
+                    continue
+                for left_ranked in best[left]:
+                    for right_ranked in best[right]:
+                        cost = (
+                            left_ranked.cost + right_ranked.cost + out_rows
+                        )
+                        candidates.append(RankedTree(
+                            cost=cost,
+                            tree=JoinTree.join(
+                                left_ranked.tree, right_ranked.tree
+                            ),
+                        ))
+            if candidates:
+                candidates.sort(key=lambda ranked: ranked.cost)
+                best[subset] = candidates[:k]
+
+    full = frozenset(names)
+    if full not in best:
+        raise ValueError("no cross-product-free plan covers all relations")
+    return best[full]
+
+
+def _ordered_splits(
+    graph: JoinGraph, subset: FrozenSet[str]
+) -> List[Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """All (left, right) connected, edge-linked ordered partitions."""
+    members = sorted(subset)
+    anchor = members[0]
+    rest = members[1:]
+    splits: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+    for mask in range(2 ** len(rest)):
+        left = frozenset(
+            [anchor] + [rest[i] for i in range(len(rest)) if mask >> i & 1]
+        )
+        if left == subset:
+            continue
+        right = subset - left
+        if not graph.connected(left) or not graph.connected(right):
+            continue
+        if not graph.crossing_edges(left, right):
+            continue
+        splits.append((left, right))
+        splits.append((right, left))
+    return splits

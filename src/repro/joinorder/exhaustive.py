@@ -1,0 +1,105 @@
+"""Exhaustive enumeration of join orders without cartesian products.
+
+Enumerates every *bushy* join tree whose every intermediate is connected
+in the join graph -- the space the paper sweeps in the pruning experiment
+("all 1344 equivalent join orders of TPC-H query 5 (i.e., we do not
+enumerate plans with cartesian products)", Section 5.5).
+
+The enumeration is the textbook connected-subgraph recursion: a tree for
+relation set ``S`` is a leaf when ``|S| = 1``, otherwise any split of
+``S`` into connected, edge-linked halves ``(L, R)`` combined from their
+respective trees.  Operand order matters (``A |><| B`` and ``B |><| A``
+are different physical plans -- build vs probe side), matching how
+"join orders" are counted in the paper's 1344 figure; pass
+``ordered=False`` to count unordered tree shapes instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from .graph import JoinGraph
+from .trees import JoinTree
+
+
+def enumerate_join_trees(
+    graph: JoinGraph, ordered: bool = True
+) -> Iterator[JoinTree]:
+    """Yield every cross-product-free join tree over the whole graph."""
+    all_relations = frozenset(graph.relation_names)
+    if not all_relations:
+        return
+    memo: Dict[FrozenSet[str], List[JoinTree]] = {}
+    yield from _trees_for(graph, all_relations, memo, ordered)
+
+
+def count_join_trees(graph: JoinGraph, ordered: bool = True) -> int:
+    """Number of cross-product-free join trees (DP count, no enumeration)."""
+    all_relations = frozenset(graph.relation_names)
+    counts: Dict[FrozenSet[str], int] = {}
+
+    def count(subset: FrozenSet[str]) -> int:
+        if subset in counts:
+            return counts[subset]
+        if len(subset) == 1:
+            counts[subset] = 1
+            return 1
+        total = 0
+        for left, right in _splits(graph, subset, ordered):
+            total += count(left) * count(right)
+        counts[subset] = total
+        return total
+
+    return count(all_relations)
+
+
+def _trees_for(
+    graph: JoinGraph,
+    subset: FrozenSet[str],
+    memo: Dict[FrozenSet[str], List[JoinTree]],
+    ordered: bool,
+) -> Iterator[JoinTree]:
+    if subset in memo:
+        yield from memo[subset]
+        return
+    results: List[JoinTree] = []
+    if len(subset) == 1:
+        (name,) = subset
+        results.append(JoinTree.leaf(name))
+    else:
+        for left, right in _splits(graph, subset, ordered):
+            for left_tree in _trees_for(graph, left, memo, ordered):
+                for right_tree in _trees_for(graph, right, memo, ordered):
+                    results.append(JoinTree.join(left_tree, right_tree))
+    memo[subset] = results
+    yield from results
+
+
+def _splits(
+    graph: JoinGraph, subset: FrozenSet[str], ordered: bool
+) -> Iterator[Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """Valid (left, right) partitions of ``subset``.
+
+    Both halves must be connected, and at least one join edge must cross
+    between them (no cartesian products).  For unordered enumeration only
+    one orientation of each partition is produced.
+    """
+    members = sorted(subset)
+    anchor = members[0]
+    rest = members[1:]
+    # every split is identified by the sub-multiset joined with the anchor;
+    # iterate over non-empty proper subsets of the rest
+    for mask in range(2 ** len(rest)):
+        left = frozenset(
+            [anchor] + [rest[i] for i in range(len(rest)) if mask >> i & 1]
+        )
+        if left == subset:
+            continue
+        right = subset - left
+        if not graph.connected(left) or not graph.connected(right):
+            continue
+        if not graph.crossing_edges(left, right):
+            continue
+        yield left, right
+        if ordered:
+            yield right, left

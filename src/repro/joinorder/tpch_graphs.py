@@ -1,0 +1,85 @@
+"""Join graphs of the TPC-H workload queries.
+
+Cardinalities come from the analytical model in
+:mod:`repro.tpch.cardinality`; selectivities follow the primary-key /
+foreign-key structure (``1 / |referenced|``) plus the query's own filter
+predicates, folded into the base-relation cardinalities.
+"""
+
+from __future__ import annotations
+
+from ..tpch import cardinality as card
+from .graph import JoinGraph
+
+
+def q5_join_graph(
+    scale_factor: float,
+    date_selectivity: float = None,
+    include_nation_supplier_edge: bool = False,
+) -> JoinGraph:
+    """The Q5 join graph: the chain R - N - C - O - L - S (Figure 9).
+
+    Relations carry their post-filter cardinalities (region filtered to
+    one name, orders to the date window); edges carry PK-FK
+    selectivities.  Treated as a chain, the graph has exactly **1344**
+    cross-product-free ordered join trees -- the count the paper sweeps
+    in its pruning experiment (Section 5.5).  Q5's
+    ``c_nationkey = s_nationkey`` condition is folded into the L - S
+    edge's selectivity (it is applied as part of the supplier join);
+    pass ``include_nation_supplier_edge=True`` to model it as an explicit
+    N - S edge instead, which turns the chain into a cycle.
+    """
+    if date_selectivity is None:
+        date_selectivity = card.date_range_selectivity(365)
+    graph = JoinGraph()
+    graph.add_relation("R", 1.0, width=16)          # filtered to one region
+    graph.add_relation("N", 25.0, width=24)
+    graph.add_relation("C", card.table_rows("customer", scale_factor),
+                       width=16)
+    graph.add_relation(
+        "O",
+        card.table_rows("orders", scale_factor) * date_selectivity,
+        width=16,
+    )
+    graph.add_relation("L", card.table_rows("lineitem", scale_factor),
+                       width=24)
+    graph.add_relation("S", card.table_rows("supplier", scale_factor),
+                       width=16)
+    graph.add_edge("R", "N", 1.0 / 5.0)       # n_regionkey = r_regionkey
+    graph.add_edge("N", "C", 1.0 / 25.0)      # c_nationkey = n_nationkey
+    graph.add_edge("C", "O",
+                   1.0 / card.table_rows("customer", scale_factor))
+    graph.add_edge("O", "L",
+                   1.0 / card.table_rows("orders", scale_factor))
+    # l_suppkey = s_suppkey, with the same-nation condition
+    # (c_nationkey = s_nationkey) folded in as an extra 1/25 factor
+    graph.add_edge(
+        "L", "S",
+        card.same_nation_join_selectivity()
+        / card.table_rows("supplier", scale_factor),
+    )
+    if include_nation_supplier_edge:
+        graph.add_edge("N", "S", 1.0 / 25.0)  # s_nationkey = n_nationkey
+    return graph
+
+
+def q3_join_graph(scale_factor: float) -> JoinGraph:
+    """The Q3 join graph: C - O - L with the query's filters applied."""
+    graph = JoinGraph()
+    graph.add_relation(
+        "C",
+        card.table_rows("customer", scale_factor)
+        * card.mktsegment_selectivity(),
+        width=16,
+    )
+    graph.add_relation(
+        "O", card.table_rows("orders", scale_factor) * 0.475, width=16
+    )
+    graph.add_relation(
+        "L", card.table_rows("lineitem", scale_factor) * 0.525, width=24
+    )
+    graph.add_edge("C", "O",
+                   1.0 / card.table_rows("customer", scale_factor))
+    graph.add_edge("O", "L",
+                   1.0 / card.table_rows("orders", scale_factor))
+    return graph

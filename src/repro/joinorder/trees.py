@@ -1,0 +1,154 @@
+"""Join trees and their translation into costed execution plans.
+
+A join tree is the binary-tree shape of a join order.  The exhaustive
+enumerator and the DP optimizer both produce :class:`JoinTree` values;
+:func:`tree_to_plan` lowers one into a :class:`repro.core.Plan` whose join
+operators are *free* (their outputs are materialization candidates) and
+whose scans and final aggregate are bound -- the plan shape of the paper's
+Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..core.plan import Operator, Plan
+from ..stats.estimates import CostParameters
+from .graph import JoinGraph
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """Binary join tree; leaves name base relations."""
+
+    relation: Optional[str] = None
+    left: Optional["JoinTree"] = None
+    right: Optional["JoinTree"] = None
+
+    def __post_init__(self) -> None:
+        if self.relation is not None:
+            if self.left is not None or self.right is not None:
+                raise ValueError("leaf nodes cannot have children")
+        elif self.left is None or self.right is None:
+            raise ValueError("inner nodes need both children")
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.relation is not None
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        if self.is_leaf:
+            return frozenset((self.relation,))
+        return self.left.relations | self.right.relations
+
+    @property
+    def join_count(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + self.left.join_count + self.right.join_count
+
+    def __str__(self) -> str:
+        if self.is_leaf:
+            return self.relation
+        return f"({self.left} |><| {self.right})"
+
+    @classmethod
+    def leaf(cls, relation: str) -> "JoinTree":
+        return cls(relation=relation)
+
+    @classmethod
+    def join(cls, left: "JoinTree", right: "JoinTree") -> "JoinTree":
+        return cls(left=left, right=right)
+
+
+def left_deep(relations: List[str]) -> JoinTree:
+    """Left-deep tree over ``relations`` in the given order."""
+    if not relations:
+        raise ValueError("need at least one relation")
+    tree = JoinTree.leaf(relations[0])
+    for name in relations[1:]:
+        tree = JoinTree.join(tree, JoinTree.leaf(name))
+    return tree
+
+
+def cout_cost(tree: JoinTree, graph: JoinGraph) -> float:
+    """The classic ``C_out`` cost: summed intermediate cardinalities.
+
+    Used by the DP phase to rank join orders *without* failures, as the
+    paper's first phase does.
+    """
+    if tree.is_leaf:
+        return 0.0
+    own = graph.set_cardinality(tree.relations)
+    return own + cout_cost(tree.left, graph) + cout_cost(tree.right, graph)
+
+
+def tree_to_plan(
+    tree: JoinTree,
+    graph: JoinGraph,
+    params: CostParameters,
+    agg_out_rows: float = 5.0,
+    agg_out_bytes: float = 240.0,
+) -> Plan:
+    """Lower a join tree into a costed DAG plan.
+
+    Base-table scans are folded into the consuming join (the sub-plan
+    convention described in :mod:`repro.tpch.queries`): each join is a
+    free operator whose ``work_rows`` covers its base-table reads, its
+    materialized inputs and its output, and whose ``out_bytes`` follows
+    the joined set's width.  A bound always-materialized aggregate sits
+    on top (Figure 9's plan shape); joins are numbered 1..n bottom-up.
+    """
+    if tree.is_leaf:
+        raise ValueError("a single-relation tree has no join to plan")
+    plan = Plan()
+    join_counter = [0]
+
+    def lower(node: JoinTree) -> Tuple[Optional[int], float]:
+        """Insert operators for ``node``; return (op_id, out_rows).
+
+        Leaves insert nothing (their read cost is charged to the
+        consuming join) and return ``(None, base_rows)``.
+        """
+        if node.is_leaf:
+            return None, graph.relations[node.relation].rows
+
+        left_id, left_rows = lower(node.left)
+        right_id, right_rows = lower(node.right)
+        out_rows = graph.set_cardinality(node.relations)
+        out_bytes = out_rows * graph.set_width(node.relations)
+        work = left_rows + right_rows + out_rows
+        join_counter[0] += 1
+        op_id = join_counter[0]
+        base_inputs = (left_id is None) + (right_id is None)
+        plan.add_operator(Operator(
+            op_id=op_id,
+            name=f"Join{op_id}({','.join(sorted(node.relations))})",
+            runtime_cost=params.runtime_cost(work),
+            mat_cost=params.mat_cost(out_bytes),
+            materialize=False,
+            free=True,
+            cardinality=round(out_rows),
+            base_inputs=base_inputs,
+        ))
+        for child_id in (left_id, right_id):
+            if child_id is not None:
+                plan.add_edge(child_id, op_id)
+        return op_id, out_rows
+
+    root_id, root_rows = lower(tree)
+    agg_id = 99
+    plan.add_operator(Operator(
+        op_id=agg_id,
+        name="Aggregate",
+        runtime_cost=params.runtime_cost(root_rows),
+        mat_cost=params.mat_cost(agg_out_bytes),
+        materialize=True,
+        free=False,
+        cardinality=round(agg_out_rows),
+    ))
+    plan.add_edge(root_id, agg_id)
+    plan.validate()
+    return plan

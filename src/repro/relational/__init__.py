@@ -1,0 +1,89 @@
+"""Mini in-memory relational engine (columnar, single-process).
+
+Provides real query execution at small scale factors so the TPC-H
+workload's cardinalities -- and therefore the cost estimates -- are
+measured, not invented.
+"""
+
+from .executor import OperatorProfile, execute, profile
+from .parallel import MergeSpec, run_partitioned
+from .expressions import (
+    Col,
+    Expression,
+    Func,
+    InList,
+    Literal,
+    coalesce,
+    contains,
+    is_not_null,
+    is_null,
+    starts_with,
+    wrap,
+)
+from .operators import (
+    AggregateSpec,
+    CteBuffer,
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    PhysicalOperator,
+    Project,
+    Repartition,
+    Scan,
+    Sort,
+    TopK,
+    UnionAll,
+)
+from .partitioning import (
+    PartitionedTable,
+    hash_partition,
+    replicate,
+    round_robin_partition,
+    rref_partition,
+)
+from .schema import Column, ColumnType, TableSchema
+from .table import Table
+
+__all__ = [
+    "AggregateSpec",
+    "Col",
+    "Column",
+    "ColumnType",
+    "CteBuffer",
+    "Distinct",
+    "Expression",
+    "Filter",
+    "Func",
+    "HashAggregate",
+    "HashJoin",
+    "InList",
+    "Limit",
+    "MergeSpec",
+    "Literal",
+    "OperatorProfile",
+    "PartitionedTable",
+    "PhysicalOperator",
+    "Project",
+    "Repartition",
+    "Scan",
+    "Sort",
+    "TopK",
+    "Table",
+    "TableSchema",
+    "UnionAll",
+    "coalesce",
+    "contains",
+    "is_not_null",
+    "is_null",
+    "execute",
+    "hash_partition",
+    "profile",
+    "replicate",
+    "run_partitioned",
+    "round_robin_partition",
+    "rref_partition",
+    "starts_with",
+    "wrap",
+]

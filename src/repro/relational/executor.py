@@ -1,0 +1,60 @@
+"""Local execution and profiling of physical operator trees.
+
+``execute`` runs a tree and returns its result table.  ``profile`` runs it
+and additionally returns per-operator measurements (output rows/bytes),
+which the statistics layer turns into the ``tr(o)`` / ``tm(o)`` estimates
+the cost model consumes -- the reproduction's equivalent of the paper's
+"perfect statistics" obtained by measuring each operator offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .operators import CteBuffer, PhysicalOperator
+from .table import Table
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Measured output of one operator from a profiling run."""
+
+    description: str
+    output_rows: int
+    output_bytes: int
+    executions: int
+
+
+def execute(root: PhysicalOperator) -> Table:
+    """Run the tree and return the result (CTE buffers reset first)."""
+    _reset(root)
+    return root.execute()
+
+
+def profile(
+    root: PhysicalOperator,
+) -> Tuple[Table, Dict[int, OperatorProfile]]:
+    """Run the tree and collect per-operator output measurements.
+
+    Returns the result table and a map keyed by ``id(operator)`` --
+    operator instances shared across the tree (CTE buffers) appear once.
+    """
+    result = execute(root)
+    profiles: Dict[int, OperatorProfile] = {}
+    for operator in root.walk():
+        if id(operator) in profiles:
+            continue
+        profiles[id(operator)] = OperatorProfile(
+            description=operator.describe(),
+            output_rows=operator.output_rows or 0,
+            output_bytes=operator.output_bytes or 0,
+            executions=operator.executions,
+        )
+    return result, profiles
+
+
+def _reset(root: PhysicalOperator) -> None:
+    for operator in root.walk():
+        if isinstance(operator, CteBuffer):
+            operator.invalidate()

@@ -1,0 +1,213 @@
+"""Scalar expressions evaluated column-at-a-time over tables.
+
+A tiny expression tree -- column references, literals, arithmetic,
+comparisons, boolean connectives, and a few functions -- enough to express
+the predicates and derived columns of the paper's TPC-H queries (Q1's
+``l_extendedprice * (1 - l_discount) * (1 + l_tax)``, date-range filters,
+etc.).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence
+
+from .table import Table
+
+
+class Expression:
+    """Base class; ``evaluate`` returns one value per table row."""
+
+    def evaluate(self, table: Table) -> List[Any]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # operator sugar so predicates read naturally in query builders
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("+", self, wrap(other), operator.add)
+
+    def __sub__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("-", self, wrap(other), operator.sub)
+
+    def __mul__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("*", self, wrap(other), operator.mul)
+
+    def __truediv__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("/", self, wrap(other), operator.truediv)
+
+    def __eq__(self, other: object) -> "BinaryOp":  # type: ignore[override]
+        return BinaryOp("=", self, wrap(other), operator.eq)
+
+    def __ne__(self, other: object) -> "BinaryOp":  # type: ignore[override]
+        return BinaryOp("<>", self, wrap(other), operator.ne)
+
+    def __lt__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("<", self, wrap(other), operator.lt)
+
+    def __le__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp("<=", self, wrap(other), operator.le)
+
+    def __gt__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp(">", self, wrap(other), operator.gt)
+
+    def __ge__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp(">=", self, wrap(other), operator.ge)
+
+    def __and__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp(
+            "and", self, wrap(other), lambda a, b: bool(a) and bool(b)
+        )
+
+    def __or__(self, other: "ExpressionLike") -> "BinaryOp":
+        return BinaryOp(
+            "or", self, wrap(other), lambda a, b: bool(a) or bool(b)
+        )
+
+    def __invert__(self) -> "UnaryOp":
+        return UnaryOp("not", self, lambda a: not a)
+
+    def __hash__(self) -> int:  # __eq__ is overloaded for expression building
+        return id(self)
+
+    def is_in(self, values: Sequence[Any]) -> "InList":
+        return InList(self, tuple(values))
+
+    def between(self, low: Any, high: Any) -> "BinaryOp":
+        return (self >= wrap(low)) & (self <= wrap(high))
+
+
+ExpressionLike = Any  # Expression or a plain literal
+
+
+def wrap(value: ExpressionLike) -> Expression:
+    """Coerce plain Python values to literals."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Col(Expression):
+    """Reference to a column by name."""
+
+    name: str
+
+    def evaluate(self, table: Table) -> List[Any]:
+        return table.column(self.name)
+
+    def __repr__(self) -> str:
+        return f"Col({self.name})"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, table: Table) -> List[Any]:
+        return [self.value] * table.num_rows
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+@dataclass(eq=False)
+class BinaryOp(Expression):
+    symbol: str
+    left: Expression
+    right: Expression
+    fn: Callable[[Any, Any], Any]
+
+    def evaluate(self, table: Table) -> List[Any]:
+        left_values = self.left.evaluate(table)
+        right_values = self.right.evaluate(table)
+        fn = self.fn
+        return [fn(a, b) for a, b in zip(left_values, right_values)]
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+@dataclass(eq=False)
+class UnaryOp(Expression):
+    symbol: str
+    operand: Expression
+    fn: Callable[[Any], Any]
+
+    def evaluate(self, table: Table) -> List[Any]:
+        return [self.fn(value) for value in self.operand.evaluate(table)]
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({self.operand!r})"
+
+
+@dataclass(eq=False)
+class InList(Expression):
+    operand: Expression
+    values: tuple
+
+    def evaluate(self, table: Table) -> List[Any]:
+        lookup = set(self.values)
+        return [value in lookup for value in self.operand.evaluate(table)]
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} IN {self.values!r}"
+
+
+@dataclass(eq=False)
+class Func(Expression):
+    """Arbitrary scalar function of one or more sub-expressions."""
+
+    name: str
+    fn: Callable[..., Any]
+    args: "tuple[Expression, ...]"
+
+    def __init__(self, name: str, fn: Callable[..., Any],
+                 *args: ExpressionLike) -> None:
+        self.name = name
+        self.fn = fn
+        self.args = tuple(wrap(arg) for arg in args)
+
+    def evaluate(self, table: Table) -> List[Any]:
+        evaluated = [arg.evaluate(table) for arg in self.args]
+        fn = self.fn
+        return [fn(*values) for values in zip(*evaluated)]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.name}({args})"
+
+
+def starts_with(expr: ExpressionLike, prefix: str) -> Func:
+    """``column LIKE 'prefix%'``."""
+    return Func("starts_with", lambda v: v.startswith(prefix), wrap(expr))
+
+
+def contains(expr: ExpressionLike, needle: str) -> Func:
+    """``column LIKE '%needle%'``."""
+    return Func("contains", lambda v: needle in v, wrap(expr))
+
+
+def is_null(expr: ExpressionLike) -> Func:
+    """``column IS NULL`` -- for rows padded by a left outer join."""
+    return Func("is_null", lambda v: v is None, wrap(expr))
+
+
+def is_not_null(expr: ExpressionLike) -> Func:
+    """``column IS NOT NULL``."""
+    return Func("is_not_null", lambda v: v is not None, wrap(expr))
+
+
+def coalesce(*exprs: ExpressionLike) -> Func:
+    """``COALESCE(a, b, ...)`` -- the first non-null argument per row."""
+    if not exprs:
+        raise ValueError("coalesce needs at least one argument")
+
+    def pick(*values):
+        for value in values:
+            if value is not None:
+                return value
+        return None
+
+    return Func("coalesce", pick, *exprs)

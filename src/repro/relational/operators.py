@@ -1,0 +1,481 @@
+"""Physical operators of the mini relational engine.
+
+Operators form a tree (or DAG when a CTE output feeds several consumers);
+``execute()`` pulls the full input(s), produces an output
+:class:`~repro.relational.table.Table`, and remembers the measured output
+so the statistics layer can read real cardinalities and byte sizes after a
+profiling run.
+
+The operator set covers what the paper's workload needs: scans, filters,
+projections (with derived columns), hash joins, hash aggregation (with
+AVG/SUM/COUNT/MIN/MAX), sorting, limits, repartition exchanges, and a CTE
+buffer that evaluates once and serves several consumers (Q2C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .expressions import Expression, wrap
+from .schema import Column, ColumnType, TableSchema
+from .table import Table
+
+
+class PhysicalOperator:
+    """Base class for relational operators.
+
+    Attributes populated after :meth:`execute`:
+
+    * ``output_rows`` / ``output_bytes`` -- measured output size,
+    * ``executions`` -- how many times the operator body actually ran
+      (CTE buffers run once regardless of consumer count).
+    """
+
+    name: str = "operator"
+
+    def __init__(self, *children: "PhysicalOperator") -> None:
+        self.children: Tuple["PhysicalOperator", ...] = children
+        self.output_rows: Optional[int] = None
+        self.output_bytes: Optional[int] = None
+        self.executions: int = 0
+
+    def execute(self) -> Table:
+        inputs = [child.execute() for child in self.children]
+        result = self._run(inputs)
+        self.executions += 1
+        self.output_rows = result.num_rows
+        self.output_bytes = result.byte_size()
+        return result
+
+    def _run(self, inputs: List[Table]) -> Table:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def walk(self) -> "List[PhysicalOperator]":
+        """Pre-order traversal of the operator tree."""
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.walk())
+        return nodes
+
+    def describe(self) -> str:
+        return self.name
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class Scan(PhysicalOperator):
+    """Leaf: produce a base table."""
+
+    name = "Scan"
+
+    def __init__(self, table: Table) -> None:
+        super().__init__()
+        self.table = table
+
+    def _run(self, inputs: List[Table]) -> Table:
+        return self.table
+
+    def describe(self) -> str:
+        return f"Scan({self.table.schema.name})"
+
+
+class Filter(PhysicalOperator):
+    name = "Filter"
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression) -> None:
+        super().__init__(child)
+        self.predicate = predicate
+
+    def _run(self, inputs: List[Table]) -> Table:
+        (table,) = inputs
+        mask = self.predicate.evaluate(table)
+        return table.filter_mask([bool(v) for v in mask])
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class Project(PhysicalOperator):
+    """Projection with optional derived columns.
+
+    ``outputs`` is a list of ``(name, expression, type)``; plain column
+    pass-through is just ``(name, Col(name), original_type)``.
+    """
+
+    name = "Project"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        outputs: Sequence[Tuple[str, Expression, ColumnType]],
+        output_name: str = "projection",
+    ) -> None:
+        super().__init__(child)
+        self.outputs = [(n, wrap(e), t) for n, e, t in outputs]
+        self.output_name = output_name
+
+    def _run(self, inputs: List[Table]) -> Table:
+        (table,) = inputs
+        schema = TableSchema(
+            name=self.output_name,
+            columns=tuple(Column(n, t) for n, _, t in self.outputs),
+        )
+        columns = [list(e.evaluate(table)) for _, e, _ in self.outputs]
+        return Table(schema=schema, columns=columns)
+
+    def describe(self) -> str:
+        names = ", ".join(n for n, _, _ in self.outputs)
+        return f"Project({names})"
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join: build a hash table on the left, probe with the right.
+
+    ``join_type="inner"`` (default) drops unmatched rows;
+    ``join_type="left"`` keeps every left row, padding the right side's
+    columns with ``None`` (SQL ``LEFT OUTER JOIN`` -- the null-aware
+    aggregates then skip the padding, as SQL's do).
+    """
+
+    name = "HashJoin"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        output_name: Optional[str] = None,
+        join_type: str = "inner",
+    ) -> None:
+        if len(left_keys) != len(right_keys):
+            raise ValueError("join key lists differ in length")
+        if not left_keys:
+            raise ValueError("equi-join needs at least one key")
+        if join_type not in ("inner", "left"):
+            raise ValueError("join_type must be 'inner' or 'left'")
+        super().__init__(left, right)
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.output_name = output_name
+        self.join_type = join_type
+
+    def _run(self, inputs: List[Table]) -> Table:
+        left, right = inputs
+        probe: Dict[Tuple[Any, ...], List[int]] = {}
+        right_key_columns = [right.column(k) for k in self.right_keys]
+        for index in range(right.num_rows):
+            key = tuple(column[index] for column in right_key_columns)
+            probe.setdefault(key, []).append(index)
+
+        left_key_columns = [left.column(k) for k in self.left_keys]
+        left_indices: List[int] = []
+        right_indices: List[Optional[int]] = []
+        for index in range(left.num_rows):
+            key = tuple(column[index] for column in left_key_columns)
+            matches = probe.get(key, ())
+            if matches:
+                for match in matches:
+                    left_indices.append(index)
+                    right_indices.append(match)
+            elif self.join_type == "left":
+                left_indices.append(index)
+                right_indices.append(None)
+
+        left_rows = left.take(left_indices)
+        right_columns = [
+            [column[i] if i is not None else None for i in right_indices]
+            for column in right.columns
+        ]
+        schema = left.schema.concat(right.schema, name=self.output_name)
+        return Table(
+            schema=schema,
+            columns=left_rows.columns + right_columns,
+        )
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        prefix = "LeftHashJoin" if self.join_type == "left" else "HashJoin"
+        return f"{prefix}({pairs})"
+
+
+def _non_null(values: List[Any]) -> List[Any]:
+    return [value for value in values if value is not None]
+
+
+#: aggregate function name -> reducer over a value list.  All reducers
+#: skip NULLs (None), matching SQL semantics -- count(col) counts
+#: non-null values, sum/min/max/avg ignore padding from outer joins.
+_AGGREGATES: Dict[str, Callable[[List[Any]], Any]] = {
+    "sum": lambda values: sum(_non_null(values)),
+    "count": lambda values: len(_non_null(values)),
+    "avg": lambda values: (
+        sum(_non_null(values)) / len(_non_null(values))
+        if _non_null(values) else None
+    ),
+    "min": lambda values: min(_non_null(values), default=None),
+    "max": lambda values: max(_non_null(values), default=None),
+}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One output aggregate: ``fn(expression) AS out_name``."""
+
+    out_name: str
+    fn: str
+    expression: Expression
+    out_type: ColumnType = ColumnType.FLOAT
+
+    def __post_init__(self) -> None:
+        if self.fn not in _AGGREGATES:
+            raise ValueError(f"unknown aggregate {self.fn!r}")
+
+
+class HashAggregate(PhysicalOperator):
+    """Group-by with hash grouping; empty ``group_by`` = scalar aggregate."""
+
+    name = "HashAggregate"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        output_name: str = "aggregate",
+    ) -> None:
+        super().__init__(child)
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self.output_name = output_name
+
+    def _run(self, inputs: List[Table]) -> Table:
+        (table,) = inputs
+        group_columns = [table.column(name) for name in self.group_by]
+        value_lists = [
+            spec.expression.evaluate(table) for spec in self.aggregates
+        ]
+
+        groups: Dict[Tuple[Any, ...], List[List[Any]]] = {}
+        for index in range(table.num_rows):
+            key = tuple(column[index] for column in group_columns)
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = [[] for _ in self.aggregates]
+                groups[key] = bucket
+            for slot, values in zip(bucket, value_lists):
+                slot.append(values[index])
+
+        key_types = [
+            table.schema.column(name).col_type for name in self.group_by
+        ]
+        schema = TableSchema(
+            name=self.output_name,
+            columns=tuple(
+                [Column(n, t) for n, t in zip(self.group_by, key_types)]
+                + [Column(s.out_name, s.out_type) for s in self.aggregates]
+            ),
+        )
+        rows = []
+        for key in sorted(groups, key=lambda k: tuple(map(_sort_key, k))):
+            bucket = groups[key]
+            aggregated = [
+                _AGGREGATES[spec.fn](values)
+                for spec, values in zip(self.aggregates, bucket)
+            ]
+            rows.append(list(key) + aggregated)
+        if not rows and not self.group_by:
+            # scalar aggregate over an empty input still yields one row
+            rows.append([
+                _AGGREGATES[spec.fn]([]) if spec.fn in ("sum", "count")
+                else None
+                for spec in self.aggregates
+            ])
+        return Table.from_rows(schema, rows)
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{s.fn}->{s.out_name}" for s in self.aggregates)
+        keys = ",".join(self.group_by) or "()"
+        return f"HashAggregate(by={keys}; {aggs})"
+
+
+def _sort_key(value: Any) -> Any:
+    """Total order across mixed types for deterministic group output."""
+    return (str(type(value).__name__), value)
+
+
+class Sort(PhysicalOperator):
+    name = "Sort"
+
+    def __init__(self, child: PhysicalOperator, by: Sequence[str],
+                 descending: bool = False) -> None:
+        super().__init__(child)
+        self.by = list(by)
+        self.descending = descending
+
+    def _run(self, inputs: List[Table]) -> Table:
+        (table,) = inputs
+        return table.sort_by(self.by, descending=self.descending)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"Sort({','.join(self.by)} {direction})"
+
+
+class Limit(PhysicalOperator):
+    name = "Limit"
+
+    def __init__(self, child: PhysicalOperator, count: int) -> None:
+        super().__init__(child)
+        self.count = count
+
+    def _run(self, inputs: List[Table]) -> Table:
+        (table,) = inputs
+        return table.limit(self.count)
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+class Distinct(PhysicalOperator):
+    """Duplicate elimination over all columns (SQL ``SELECT DISTINCT``)."""
+
+    name = "Distinct"
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        super().__init__(child)
+
+    def _run(self, inputs: List[Table]) -> Table:
+        (table,) = inputs
+        seen = set()
+        keep: List[int] = []
+        for index in range(table.num_rows):
+            row = table.row(index)
+            if row not in seen:
+                seen.add(row)
+                keep.append(index)
+        return table.take(keep)
+
+
+class TopK(PhysicalOperator):
+    """Heap-based ``ORDER BY ... LIMIT k`` in one pass.
+
+    Equivalent to ``Limit(Sort(child, by, descending), k)`` but without
+    fully sorting the input -- the realistic physical operator for the
+    workload's top-N queries.
+    """
+
+    name = "TopK"
+
+    def __init__(self, child: PhysicalOperator, by: Sequence[str],
+                 k: int, descending: bool = True) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        super().__init__(child)
+        self.by = list(by)
+        self.k = k
+        self.descending = descending
+
+    def _run(self, inputs: List[Table]) -> Table:
+        import heapq
+
+        (table,) = inputs
+        key_columns = [table.column(name) for name in self.by]
+
+        def sort_key(index: int):
+            return tuple(column[index] for column in key_columns)
+
+        chooser = heapq.nlargest if self.descending else heapq.nsmallest
+        indices = chooser(self.k, range(table.num_rows), key=sort_key)
+        return table.take(indices)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"TopK({','.join(self.by)} {direction}, k={self.k})"
+
+
+class UnionAll(PhysicalOperator):
+    name = "UnionAll"
+
+    def __init__(self, *children: PhysicalOperator) -> None:
+        if len(children) < 2:
+            raise ValueError("union needs at least two inputs")
+        super().__init__(*children)
+
+    def _run(self, inputs: List[Table]) -> Table:
+        result = inputs[0]
+        for table in inputs[1:]:
+            result = result.concat_rows(table)
+        return result
+
+
+class Repartition(PhysicalOperator):
+    """Exchange: hash-repartition rows across ``partitions`` buckets.
+
+    In the single-process mini engine this is a logical no-op on the data
+    (the buckets are concatenated back), but it measures the shuffled
+    byte volume, which the statistics layer uses to price network-bound
+    repartition operators.
+    """
+
+    name = "Repartition"
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[str],
+                 partitions: int) -> None:
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        super().__init__(child)
+        self.keys = list(keys)
+        self.partitions = partitions
+
+    def _run(self, inputs: List[Table]) -> Table:
+        from .partitioning import hash_partition
+
+        (table,) = inputs
+        parts = hash_partition(table, self.keys, self.partitions)
+        result = parts[0]
+        for part in parts[1:]:
+            result = result.concat_rows(part)
+        return result
+
+    def describe(self) -> str:
+        return f"Repartition({','.join(self.keys)} -> {self.partitions})"
+
+
+class CteBuffer(PhysicalOperator):
+    """Common-table-expression buffer: evaluate once, serve many consumers.
+
+    Q2C's DAG shape comes from two outer queries consuming one inner
+    aggregate; in the operator tree the same ``CteBuffer`` instance
+    appears as the child of both consumers.
+    """
+
+    name = "CteBuffer"
+
+    def __init__(self, child: PhysicalOperator, cte_name: str = "cte") -> None:
+        super().__init__(child)
+        self.cte_name = cte_name
+        self._cached: Optional[Table] = None
+
+    def execute(self) -> Table:
+        if self._cached is None:
+            self._cached = super().execute()
+        return self._cached
+
+    def invalidate(self) -> None:
+        self._cached = None
+
+    def _run(self, inputs: List[Table]) -> Table:
+        (table,) = inputs
+        return table.rename(self.cte_name)
+
+    def describe(self) -> str:
+        return f"CteBuffer({self.cte_name})"

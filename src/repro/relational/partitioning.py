@@ -1,0 +1,138 @@
+"""Horizontal partitioning schemes (the paper's Section 5.1 layout).
+
+The paper's TPC-H database is laid out as:
+
+* NATION and REGION replicated to all nodes,
+* LINEITEM and ORDERS co-partitioned by hash on ``orderkey``,
+* all remaining tables *RREF-partitioned* (reference partitioning with
+  partial replication, from the XDB paper): each tuple of the referenced
+  table is placed on every node that holds a referencing tuple, so that
+  the foreign-key join never crosses nodes.
+
+We reproduce all three so that partition-local vs network-crossing joins
+can be priced differently by the statistics layer, and so the examples can
+show real partition-parallel execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .table import Table
+
+
+def _stable_hash(key: Tuple[Any, ...]) -> int:
+    """Deterministic hash across runs (Python's str hash is salted)."""
+    value = 1469598103934665603  # FNV-1a offset basis
+    for part in key:
+        for byte in repr(part).encode():
+            value ^= byte
+            value = (value * 1099511628211) % (1 << 64)
+    return value
+
+
+def hash_partition(table: Table, keys: Sequence[str],
+                   partitions: int) -> List[Table]:
+    """Split ``table`` into ``partitions`` buckets by hash of ``keys``."""
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    if not keys:
+        raise ValueError("hash partitioning needs at least one key")
+    key_columns = [table.column(k) for k in keys]
+    assignment: List[List[int]] = [[] for _ in range(partitions)]
+    for index in range(table.num_rows):
+        key = tuple(column[index] for column in key_columns)
+        assignment[_stable_hash(key) % partitions].append(index)
+    return [table.take(indices) for indices in assignment]
+
+
+def round_robin_partition(table: Table, partitions: int) -> List[Table]:
+    """Split rows round-robin (used when no key is meaningful)."""
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    assignment: List[List[int]] = [[] for _ in range(partitions)]
+    for index in range(table.num_rows):
+        assignment[index % partitions].append(index)
+    return [table.take(indices) for indices in assignment]
+
+
+def replicate(table: Table, partitions: int) -> List[Table]:
+    """Full replication: every node holds the whole table."""
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    return [table for _ in range(partitions)]
+
+
+def rref_partition(
+    referenced: Table,
+    referenced_keys: Sequence[str],
+    referencing_parts: Sequence[Table],
+    referencing_keys: Sequence[str],
+) -> List[Table]:
+    """RREF partitioning: co-locate referenced tuples with their referers.
+
+    For each partition of the *referencing* table, emit the subset of the
+    *referenced* table whose key appears among the partition's foreign
+    keys.  Tuples referenced from several partitions are replicated to
+    each -- that is the "partial replication" that makes the joins local.
+    """
+    if len(referenced_keys) != len(referencing_keys):
+        raise ValueError("key lists differ in length")
+    key_columns = [referenced.column(k) for k in referenced_keys]
+    by_key: Dict[Tuple[Any, ...], List[int]] = {}
+    for index in range(referenced.num_rows):
+        key = tuple(column[index] for column in key_columns)
+        by_key.setdefault(key, []).append(index)
+
+    parts: List[Table] = []
+    for part in referencing_parts:
+        foreign_columns = [part.column(k) for k in referencing_keys]
+        wanted: List[int] = []
+        seen = set()
+        for index in range(part.num_rows):
+            key = tuple(column[index] for column in foreign_columns)
+            if key in seen:
+                continue
+            seen.add(key)
+            wanted.extend(by_key.get(key, ()))
+        parts.append(referenced.take(sorted(wanted)))
+    return parts
+
+
+@dataclass(frozen=True)
+class PartitionedTable:
+    """A table split across cluster nodes, with its placement recorded."""
+
+    name: str
+    parts: Tuple[Table, ...]
+    scheme: str                       #: "hash" | "rref" | "replicated" | "rr"
+    keys: Tuple[str, ...] = ()
+    #: row count of the logical (unreplicated) table; needed to compute the
+    #: replication factor for rref/replicated schemes
+    logical_rows: int = 0
+
+    @property
+    def partitions(self) -> int:
+        return len(self.parts)
+
+    @property
+    def stored_rows(self) -> int:
+        """Rows physically stored across all nodes (counting replicas)."""
+        return sum(part.num_rows for part in self.parts)
+
+    @property
+    def replication_factor(self) -> float:
+        """Stored rows / logical rows (RREF > 1 means partial replication)."""
+        if not self.logical_rows:
+            return 1.0
+        return self.stored_rows / self.logical_rows
+
+    def gather(self) -> Table:
+        """Reassemble the logical table (replicated: a single copy)."""
+        if self.scheme == "replicated":
+            return self.parts[0]
+        result = self.parts[0]
+        for part in self.parts[1:]:
+            result = result.concat_rows(part)
+        return result

@@ -1,0 +1,110 @@
+"""Relational schemas for the mini in-memory engine.
+
+The engine is deliberately small -- just enough to really execute the
+paper's TPC-H workload at laptop scale factors so that cardinalities and
+cost estimates are grounded in actual query results rather than guessed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+class ColumnType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"      #: stored as ordinal ints; formatting is cosmetic
+
+    def python_type(self) -> type:
+        if self in (ColumnType.INT, ColumnType.DATE):
+            return int
+        if self is ColumnType.FLOAT:
+            return float
+        return str
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a table schema."""
+
+    name: str
+    col_type: ColumnType
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.col_type.value}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered column list with name lookup."""
+
+    name: str
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate column names in {self.name}")
+
+    @classmethod
+    def build(
+        cls, name: str, columns: Sequence[Tuple[str, ColumnType]]
+    ) -> "TableSchema":
+        return cls(
+            name=name,
+            columns=tuple(Column(col_name, col_type)
+                          for col_name, col_type in columns),
+        )
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def index_of(self, column_name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == column_name:
+                return index
+        raise KeyError(
+            f"no column {column_name!r} in table {self.name!r} "
+            f"(have {self.column_names})"
+        )
+
+    def column(self, column_name: str) -> Column:
+        return self.columns[self.index_of(column_name)]
+
+    def __contains__(self, column_name: str) -> bool:
+        return any(column.name == column_name for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def project(self, column_names: Sequence[str],
+                name: Optional[str] = None) -> "TableSchema":
+        """Schema restricted (and reordered) to ``column_names``."""
+        return TableSchema(
+            name=name or self.name,
+            columns=tuple(self.column(column_name)
+                          for column_name in column_names),
+        )
+
+    def rename(self, name: str) -> "TableSchema":
+        return TableSchema(name=name, columns=self.columns)
+
+    def concat(self, other: "TableSchema",
+               name: Optional[str] = None) -> "TableSchema":
+        """Join-output schema; duplicate names get the table prefix."""
+        taken = set(self.column_names)
+        merged: List[Column] = list(self.columns)
+        for column in other.columns:
+            column_name = column.name
+            if column_name in taken:
+                column_name = f"{other.name}.{column.name}"
+                if column_name in taken:
+                    raise ValueError(f"cannot disambiguate {column.name}")
+            taken.add(column_name)
+            merged.append(Column(column_name, column.col_type))
+        return TableSchema(name=name or f"{self.name}_{other.name}",
+                           columns=tuple(merged))

@@ -1,0 +1,166 @@
+"""Columnar in-memory tables for the mini relational engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .schema import ColumnType, TableSchema
+
+
+@dataclass
+class Table:
+    """A table: a schema plus one Python list per column.
+
+    Columns are plain lists (not NumPy arrays) because the engine handles
+    mixed types, string keys and tiny scale factors; clarity wins over
+    vectorization here.  All mutating operations return new tables.
+    """
+
+    schema: TableSchema
+    columns: List[List[Any]]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.schema):
+            raise ValueError(
+                f"{self.schema.name}: schema has {len(self.schema)} columns, "
+                f"data has {len(self.columns)}"
+            )
+        lengths = {len(column) for column in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"{self.schema.name}: ragged columns {lengths}")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: TableSchema,
+                  rows: Sequence[Sequence[Any]]) -> "Table":
+        columns: List[List[Any]] = [[] for _ in schema.columns]
+        for row in rows:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row width {len(row)} != schema width {len(schema)}"
+                )
+            for index, value in enumerate(row):
+                columns[index].append(value)
+        return cls(schema=schema, columns=columns)
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "Table":
+        return cls(schema=schema, columns=[[] for _ in schema.columns])
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, column_name: str) -> List[Any]:
+        return self.columns[self.schema.index_of(column_name)]
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        return tuple(column[index] for column in self.columns)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        for index in range(self.num_rows):
+            yield self.row(index)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Row subset/reorder by positional indices."""
+        return Table(
+            schema=self.schema,
+            columns=[[column[i] for i in indices] for column in self.columns],
+        )
+
+    def filter_mask(self, mask: Sequence[bool]) -> "Table":
+        if len(mask) != self.num_rows:
+            raise ValueError("mask length != row count")
+        indices = [i for i, keep in enumerate(mask) if keep]
+        return self.take(indices)
+
+    def project(self, column_names: Sequence[str],
+                name: Optional[str] = None) -> "Table":
+        return Table(
+            schema=self.schema.project(column_names, name=name),
+            columns=[list(self.column(c)) for c in column_names],
+        )
+
+    def rename(self, name: str) -> "Table":
+        return Table(schema=self.schema.rename(name), columns=self.columns)
+
+    def concat_rows(self, other: "Table") -> "Table":
+        """UNION ALL; schemas must have identical column layouts."""
+        if [c.col_type for c in self.schema.columns] != \
+                [c.col_type for c in other.schema.columns]:
+            raise ValueError("union of incompatible schemas")
+        return Table(
+            schema=self.schema,
+            columns=[
+                mine + theirs
+                for mine, theirs in zip(self.columns, other.columns)
+            ],
+        )
+
+    def with_column(self, name: str, col_type: ColumnType,
+                    values: Sequence[Any]) -> "Table":
+        if len(values) != self.num_rows:
+            raise ValueError("new column length != row count")
+        from .schema import Column
+        new_schema = TableSchema(
+            name=self.schema.name,
+            columns=self.schema.columns + (Column(name, col_type),),
+        )
+        return Table(schema=new_schema, columns=self.columns + [list(values)])
+
+    def sort_by(self, column_names: Sequence[str],
+                descending: bool = False) -> "Table":
+        key_columns = [self.column(c) for c in column_names]
+        indices = sorted(
+            range(self.num_rows),
+            key=lambda i: tuple(column[i] for column in key_columns),
+            reverse=descending,
+        )
+        return self.take(indices)
+
+    def limit(self, count: int) -> "Table":
+        return self.take(range(min(count, self.num_rows)))
+
+    # ------------------------------------------------------------------
+    # measurement hooks used by the statistics layer
+    # ------------------------------------------------------------------
+    def byte_size(self) -> int:
+        """Rough serialized size: what materializing this table costs.
+
+        Ints/floats count 8 bytes, dates 4, strings their length -- close
+        enough for relative materialization-cost estimates.
+        """
+        total = 0
+        for column, spec in zip(self.columns, self.schema.columns):
+            if spec.col_type is ColumnType.STRING:
+                total += sum(len(value) for value in column)
+            elif spec.col_type is ColumnType.DATE:
+                total += 4 * len(column)
+            else:
+                total += 8 * len(column)
+        return total
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    def pretty(self, limit: int = 10) -> str:
+        names = self.schema.column_names
+        lines = [" | ".join(names)]
+        for index in range(min(limit, self.num_rows)):
+            lines.append(" | ".join(str(v) for v in self.row(index)))
+        if self.num_rows > limit:
+            lines.append(f"... ({self.num_rows} rows)")
+        return "\n".join(lines)

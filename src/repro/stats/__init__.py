@@ -1,0 +1,47 @@
+"""Statistics layer: cardinality -> cost translation, calibration,
+and perturbation injection for the robustness experiments."""
+
+from .calibration import (
+    DEFAULT_CPU_ROW_COST,
+    DEFAULT_MAT_BYTE_COST,
+    DEFAULT_NODES,
+    calibrate_cpu_cost,
+    calibrate_mat_cost,
+    default_parameters,
+)
+from .estimates import (
+    CostParameters,
+    LogicalOperator,
+    build_plan,
+    measured_costs,
+)
+from .mtbf_estimation import MtbfEstimate, MtbfTracker, estimate_mtbf
+from .profiling import ProfiledCalibration, calibrate_from_execution
+from .perturbation import (
+    PAPER_FACTORS,
+    PerturbationKind,
+    perturb_plan,
+    perturb_stats,
+)
+
+__all__ = [
+    "DEFAULT_CPU_ROW_COST",
+    "DEFAULT_MAT_BYTE_COST",
+    "DEFAULT_NODES",
+    "PAPER_FACTORS",
+    "CostParameters",
+    "MtbfEstimate",
+    "MtbfTracker",
+    "ProfiledCalibration",
+    "LogicalOperator",
+    "PerturbationKind",
+    "build_plan",
+    "calibrate_cpu_cost",
+    "calibrate_from_execution",
+    "estimate_mtbf",
+    "calibrate_mat_cost",
+    "default_parameters",
+    "measured_costs",
+    "perturb_plan",
+    "perturb_stats",
+]

@@ -1,0 +1,166 @@
+"""Estimating the MTBF from observed failures.
+
+The cost model consumes the cluster's MTBF as a given statistic
+(``getCostStats``); in production it has to be *estimated* from failure
+logs, and a wrong MTBF is one of the perturbations Table 3 studies.
+This module provides the standard machinery:
+
+* :func:`estimate_mtbf` -- the maximum-likelihood estimate for an
+  exponential failure process (total observed node-time over failure
+  count) with an exact chi-square confidence interval;
+* :class:`MtbfTracker` -- an online tracker that ingests failures as
+  they happen and exposes the current estimate, with optional
+  exponential decay so drifting hardware health is tracked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class MtbfEstimate:
+    """An MTBF estimate with its confidence interval."""
+
+    mtbf: float              #: point estimate (seconds)
+    lower: float             #: lower confidence bound
+    upper: float             #: upper bound (inf with zero failures)
+    failures: int
+    node_time: float         #: total observed node-seconds
+    confidence: float
+
+    def __str__(self) -> str:
+        upper = "inf" if math.isinf(self.upper) else f"{self.upper:.0f}"
+        return (f"MTBF ~= {self.mtbf:.0f}s "
+                f"[{self.lower:.0f}, {upper}] "
+                f"({self.failures} failures over {self.node_time:.0f} "
+                f"node-seconds, {100 * self.confidence:.0f}% CI)")
+
+
+def estimate_mtbf(
+    failures: int,
+    observation_time: float,
+    nodes: int = 1,
+    confidence: float = 0.95,
+) -> MtbfEstimate:
+    """MLE + exact chi-square CI for an exponential failure process.
+
+    ``failures`` events observed over ``observation_time`` seconds on
+    ``nodes`` independent nodes give node-time ``T = t * n`` and the
+    point estimate ``T / k``.  The interval uses the standard
+    time-truncated (Type-I censored) chi-square bounds
+    ``[2T / chi2(1-a/2; 2k+2), 2T / chi2(a/2; 2k)]``; with zero
+    failures only the lower bound is informative.
+    """
+    if failures < 0:
+        raise ValueError("failures must be >= 0")
+    if observation_time <= 0:
+        raise ValueError("observation_time must be > 0")
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+
+    node_time = observation_time * nodes
+    alpha = 1.0 - confidence
+    lower = 2.0 * node_time / scipy_stats.chi2.ppf(
+        1.0 - alpha / 2.0, 2 * failures + 2
+    )
+    if failures == 0:
+        point = float("inf")
+        upper = float("inf")
+    else:
+        point = node_time / failures
+        upper = 2.0 * node_time / scipy_stats.chi2.ppf(
+            alpha / 2.0, 2 * failures
+        )
+    return MtbfEstimate(
+        mtbf=point,
+        lower=lower,
+        upper=upper,
+        failures=failures,
+        node_time=node_time,
+        confidence=confidence,
+    )
+
+
+def estimate_from_trace(trace, confidence: float = 0.95) -> MtbfEstimate:
+    """Estimate from a :class:`~repro.engine.traces.FailureTrace`.
+
+    Uses the trace's horizon as the observation window; handy for
+    closing the loop in experiments (generate with a nominal MTBF,
+    re-estimate, compare).
+    """
+    if math.isinf(trace.horizon):
+        raise ValueError("trace has no finite horizon to observe over")
+    failures = sum(len(node) for node in trace.node_failures)
+    return estimate_mtbf(
+        failures, trace.horizon, nodes=trace.nodes, confidence=confidence
+    )
+
+
+class MtbfTracker:
+    """Online MTBF tracking with optional exponential forgetting.
+
+    Feed observation time via :meth:`observe` (node-seconds of healthy
+    operation) and failures via :meth:`record_failure`.  With
+    ``half_life`` set, old evidence decays so the estimate follows
+    drifting failure rates -- the input a re-optimizing scheme
+    (:mod:`repro.engine.adaptive`) would consume in production.
+    """
+
+    def __init__(self, half_life: Optional[float] = None) -> None:
+        if half_life is not None and half_life <= 0:
+            raise ValueError("half_life must be > 0")
+        self.half_life = half_life
+        self._node_time = 0.0
+        self._failures = 0.0
+
+    def observe(self, node_seconds: float) -> None:
+        """Accumulate healthy observation time (node-seconds)."""
+        if node_seconds < 0:
+            raise ValueError("node_seconds must be >= 0")
+        self._decay(node_seconds)
+        self._node_time += node_seconds
+
+    def record_failure(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._failures += count
+
+    def _decay(self, elapsed: float) -> None:
+        if self.half_life is None or elapsed <= 0:
+            return
+        factor = 0.5 ** (elapsed / self.half_life)
+        self._node_time *= factor
+        self._failures *= factor
+
+    @property
+    def node_time(self) -> float:
+        return self._node_time
+
+    @property
+    def failures(self) -> float:
+        return self._failures
+
+    @property
+    def mtbf(self) -> float:
+        """Current point estimate (inf until the first failure)."""
+        if self._failures <= 0:
+            return float("inf")
+        return self._node_time / self._failures
+
+    def estimate(self, confidence: float = 0.95) -> MtbfEstimate:
+        """Snapshot with a CI (rounding decayed failures down)."""
+        if self._node_time <= 0:
+            raise ValueError("no observation time recorded yet")
+        return estimate_mtbf(
+            int(self._failures),
+            self._node_time,
+            nodes=1,
+            confidence=confidence,
+        )

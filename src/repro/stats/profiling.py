@@ -1,0 +1,87 @@
+"""Self-calibration: derive cost parameters by timing real execution.
+
+The default :func:`repro.stats.calibration.default_parameters` anchors
+the cost constants to the *paper's* published testbed numbers.  When the
+target engine is available -- here, the mini relational engine itself --
+the constants can instead be measured the way the paper derived its
+``CONST_pipe`` ("calibration experiments"): run the workload, time it,
+and fit seconds-per-row / seconds-per-byte.
+
+This is how a deployment would calibrate the optimizer against its own
+hardware; the tests only assert stability and positivity, because the
+absolute numbers are machine-dependent by design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..relational.executor import profile
+from ..tpch.datagen import TpchDatabase
+from ..tpch.queries import QUERIES
+from .estimates import CostParameters
+
+
+@dataclass(frozen=True)
+class ProfiledCalibration:
+    """Measured calibration plus its raw evidence."""
+
+    params: CostParameters
+    #: per query: (rows processed, wall seconds)
+    evidence: Dict[str, "tuple[float, float]"]
+    total_rows: float
+    total_seconds: float
+
+
+def calibrate_from_execution(
+    db: TpchDatabase,
+    query_names: Sequence[str] = ("Q1", "Q3", "Q5", "Q6"),
+    nodes: int = 1,
+    repeats: int = 1,
+    mat_cpu_ratio: float = 0.05,
+) -> ProfiledCalibration:
+    """Fit ``cpu_row_cost`` by timing the mini engine on real queries.
+
+    Every operator's produced rows count as processed work (a coarse but
+    consistent proxy for the engine's per-row cost).  The
+    materialization constant is tied to the CPU constant by
+    ``mat_cpu_ratio`` (seconds per byte as a fraction of seconds per
+    row) -- the mini engine has no real storage tier to time, so the
+    ratio is the declared modelling choice.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if not query_names:
+        raise ValueError("need at least one query")
+    evidence: Dict[str, tuple] = {}
+    total_rows = 0.0
+    total_seconds = 0.0
+    for name in query_names:
+        query = QUERIES[name]
+        best_seconds = float("inf")
+        rows = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _, profiles = profile(query.physical_tree(db))
+            elapsed = time.perf_counter() - start
+            rows = float(sum(p.output_rows for p in profiles.values()))
+            best_seconds = min(best_seconds, elapsed)
+        evidence[name] = (rows, best_seconds)
+        total_rows += rows
+        total_seconds += best_seconds
+    if total_rows <= 0:
+        raise ValueError("profiling produced no rows to calibrate on")
+    cpu_row_cost = total_seconds / total_rows
+    params = CostParameters(
+        cpu_row_cost=cpu_row_cost,
+        mat_byte_cost=cpu_row_cost * mat_cpu_ratio,
+        nodes=nodes,
+    )
+    return ProfiledCalibration(
+        params=params,
+        evidence=evidence,
+        total_rows=total_rows,
+        total_seconds=total_seconds,
+    )

@@ -1,0 +1,38 @@
+"""TPC-H workload: schema, deterministic generator, cardinality model,
+and the paper's five evaluation queries."""
+
+from . import cardinality
+from .datagen import TpchDatabase, generate
+from .layout import PartitionedDatabase, partition_database
+from .queries import (
+    QUERIES,
+    TpchQuery,
+    build_query_plan,
+    q5_logical_with_dates,
+)
+from .schema import (
+    BASE_ROWS,
+    MAX_ORDER_DATE,
+    MIN_ORDER_DATE,
+    SCHEMAS,
+    date_ordinal,
+    rows_at_sf,
+)
+
+__all__ = [
+    "BASE_ROWS",
+    "MAX_ORDER_DATE",
+    "MIN_ORDER_DATE",
+    "QUERIES",
+    "SCHEMAS",
+    "PartitionedDatabase",
+    "TpchDatabase",
+    "TpchQuery",
+    "build_query_plan",
+    "cardinality",
+    "date_ordinal",
+    "generate",
+    "partition_database",
+    "q5_logical_with_dates",
+    "rows_at_sf",
+]

@@ -1,0 +1,198 @@
+"""Deterministic TPC-H data generator (a laptop-scale dbgen).
+
+Generates the eight TPC-H tables at arbitrary (fractional) scale factors
+with the referential structure and value distributions the paper's
+workload depends on: orders reference customers, lineitems reference
+orders/parts/suppliers, 1-7 lineitems per order, uniform order dates over
+1992-1998, ship dates 1-121 days after the order date, uniform market
+segments, region-consistent nation keys, and so on.
+
+Everything is drawn from a seeded NumPy generator, so a given
+``(scale_factor, seed)`` always produces the same database.  Realistic
+absolute volumes are not the point (the simulator handles large scale
+factors analytically); *correct relative cardinalities* are, because the
+statistics layer validates its analytical model against this generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..relational.table import Table
+from .schema import (
+    LINE_STATUSES,
+    MARKET_SEGMENTS,
+    MAX_ORDER_DATE,
+    MIN_ORDER_DATE,
+    NATION_NAMES,
+    NATION_REGIONS,
+    PART_TYPES,
+    REGION_NAMES,
+    RETURN_FLAGS,
+    SCHEMAS,
+    rows_at_sf,
+)
+
+
+@dataclass(frozen=True)
+class TpchDatabase:
+    """The eight generated tables plus the generation parameters."""
+
+    scale_factor: float
+    seed: int
+    tables: Dict[str, Table]
+
+    def __getitem__(self, name: str) -> Table:
+        return self.tables[name]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(table.num_rows for table in self.tables.values())
+
+
+def generate(scale_factor: float, seed: int = 0) -> TpchDatabase:
+    """Generate a complete TPC-H database at ``scale_factor``.
+
+    Use small scale factors (0.001 - 0.05) for in-memory execution; the
+    analytical cardinality model covers the paper's SF 1-1000 range.
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be > 0")
+    rng = np.random.default_rng(seed)
+    tables: Dict[str, Table] = {}
+    tables["region"] = _region()
+    tables["nation"] = _nation()
+    tables["supplier"] = _supplier(scale_factor, rng)
+    tables["customer"] = _customer(scale_factor, rng)
+    tables["part"] = _part(scale_factor, rng)
+    tables["partsupp"] = _partsupp(scale_factor, rng, tables)
+    tables["orders"] = _orders(scale_factor, rng, tables)
+    tables["lineitem"] = _lineitem(scale_factor, rng, tables)
+    return TpchDatabase(scale_factor=scale_factor, seed=seed, tables=tables)
+
+
+def _region() -> Table:
+    rows = [[key, name] for key, name in enumerate(REGION_NAMES)]
+    return Table.from_rows(SCHEMAS["region"], rows)
+
+
+def _nation() -> Table:
+    rows = [
+        [key, name, NATION_REGIONS[key]]
+        for key, name in enumerate(NATION_NAMES)
+    ]
+    return Table.from_rows(SCHEMAS["nation"], rows)
+
+
+def _supplier(scale_factor: float, rng: np.random.Generator) -> Table:
+    count = rows_at_sf("supplier", scale_factor)
+    nation_keys = rng.integers(0, 25, size=count)
+    acctbals = np.round(rng.uniform(-999.99, 9999.99, size=count), 2)
+    rows = [
+        [key + 1, f"Supplier#{key + 1:09d}",
+         int(nation_keys[key]), float(acctbals[key])]
+        for key in range(count)
+    ]
+    return Table.from_rows(SCHEMAS["supplier"], rows)
+
+
+def _customer(scale_factor: float, rng: np.random.Generator) -> Table:
+    count = rows_at_sf("customer", scale_factor)
+    nation_keys = rng.integers(0, 25, size=count)
+    segments = rng.integers(0, len(MARKET_SEGMENTS), size=count)
+    acctbals = np.round(rng.uniform(-999.99, 9999.99, size=count), 2)
+    rows = [
+        [key + 1, f"Customer#{key + 1:09d}", int(nation_keys[key]),
+         MARKET_SEGMENTS[segments[key]], float(acctbals[key])]
+        for key in range(count)
+    ]
+    return Table.from_rows(SCHEMAS["customer"], rows)
+
+
+def _part(scale_factor: float, rng: np.random.Generator) -> Table:
+    count = rows_at_sf("part", scale_factor)
+    types = rng.integers(0, len(PART_TYPES), size=count)
+    sizes = rng.integers(1, 51, size=count)
+    prices = np.round(rng.uniform(900.0, 2000.0, size=count), 2)
+    rows = [
+        [key + 1, f"Part#{key + 1:09d}",
+         f"Manufacturer#{key % 5 + 1}", PART_TYPES[types[key]],
+         int(sizes[key]), float(prices[key])]
+        for key in range(count)
+    ]
+    return Table.from_rows(SCHEMAS["part"], rows)
+
+
+def _partsupp(
+    scale_factor: float, rng: np.random.Generator, tables: Dict[str, Table]
+) -> Table:
+    part_count = tables["part"].num_rows
+    supplier_count = tables["supplier"].num_rows
+    #: 4 suppliers per part, as in the specification
+    per_part = min(4, supplier_count)
+    rows = []
+    for part_key in range(1, part_count + 1):
+        suppliers = rng.choice(
+            supplier_count, size=per_part, replace=False
+        )
+        for supplier_index in suppliers:
+            rows.append([
+                part_key,
+                int(supplier_index) + 1,
+                int(rng.integers(1, 10_000)),
+                round(float(rng.uniform(1.0, 1000.0)), 2),
+            ])
+    return Table.from_rows(SCHEMAS["partsupp"], rows)
+
+
+def _orders(
+    scale_factor: float, rng: np.random.Generator, tables: Dict[str, Table]
+) -> Table:
+    count = rows_at_sf("orders", scale_factor)
+    customer_count = tables["customer"].num_rows
+    #: only 2/3 of customers have orders in TPC-H; good enough uniformly here
+    customer_keys = rng.integers(1, customer_count + 1, size=count)
+    dates = rng.integers(MIN_ORDER_DATE, MAX_ORDER_DATE + 1, size=count)
+    prices = np.round(rng.uniform(1_000.0, 450_000.0, size=count), 2)
+    statuses = rng.integers(0, 3, size=count)
+    status_values = ["F", "O", "P"]
+    rows = [
+        [key + 1, int(customer_keys[key]), status_values[statuses[key]],
+         float(prices[key]), int(dates[key]), int(rng.integers(0, 2))]
+        for key in range(count)
+    ]
+    return Table.from_rows(SCHEMAS["orders"], rows)
+
+
+def _lineitem(
+    scale_factor: float, rng: np.random.Generator, tables: Dict[str, Table]
+) -> Table:
+    orders = tables["orders"]
+    part_count = tables["part"].num_rows
+    supplier_count = tables["supplier"].num_rows
+    order_keys = orders.column("o_orderkey")
+    order_dates = orders.column("o_orderdate")
+
+    rows = []
+    for order_key, order_date in zip(order_keys, order_dates):
+        for line_number in range(1, int(rng.integers(1, 8)) + 1):
+            quantity = float(rng.integers(1, 51))
+            extended = round(quantity * float(rng.uniform(900.0, 2000.0)), 2)
+            ship_date = order_date + int(rng.integers(1, 122))
+            rows.append([
+                order_key,
+                int(rng.integers(1, part_count + 1)),
+                int(rng.integers(1, supplier_count + 1)),
+                line_number,
+                quantity,
+                extended,
+                round(float(rng.uniform(0.0, 0.10)), 2),
+                round(float(rng.uniform(0.0, 0.08)), 2),
+                RETURN_FLAGS[int(rng.integers(0, len(RETURN_FLAGS)))],
+                LINE_STATUSES[int(rng.integers(0, len(LINE_STATUSES)))],
+                ship_date,
+            ])
+    return Table.from_rows(SCHEMAS["lineitem"], rows)

@@ -1,0 +1,122 @@
+"""The paper's TPC-H cluster layout (Section 5.1).
+
+XDB lays the database out so that every join of the workload is
+partition-local:
+
+* NATION and REGION are replicated to all nodes;
+* LINEITEM and ORDERS are co-partitioned by hash on the order key;
+* the remaining tables are RREF-partitioned (referenced tuples follow
+  their referencing partitions, with partial replication): CUSTOMER by
+  ORDERS on the customer key, SUPPLIER and PART by LINEITEM on their
+  keys, PARTSUPP by LINEITEM on (partkey, suppkey).
+
+:func:`partition_database` applies that layout to a generated database;
+:mod:`repro.relational.parallel` then executes query trees per node and
+merges the results, which the tests use to prove the layout really makes
+the workload's joins local (partitioned execution equals single-node
+execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..relational.partitioning import (
+    PartitionedTable,
+    hash_partition,
+    replicate,
+    rref_partition,
+)
+from ..relational.table import Table
+from .datagen import TpchDatabase
+
+
+@dataclass(frozen=True)
+class PartitionedDatabase:
+    """One TPC-H database split across cluster nodes per the layout."""
+
+    nodes: int
+    tables: Dict[str, PartitionedTable]
+
+    def node_view(self, node: int) -> TpchDatabase:
+        """The database as node ``node`` sees it (its local partitions).
+
+        The returned :class:`TpchDatabase` reuses the container type so
+        the query builders run unchanged per node; its ``scale_factor``
+        is 0 (a node view is a shard, not a generated database) and its
+        ``seed`` records the node index.
+        """
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node must be in [0, {self.nodes})")
+        return TpchDatabase(
+            scale_factor=0.0,
+            seed=node,
+            tables={
+                name: partitioned.parts[node]
+                for name, partitioned in self.tables.items()
+            },
+        )
+
+    def replication_overhead(self) -> Dict[str, float]:
+        """Replication factor per table (1.0 = no extra copies)."""
+        return {
+            name: partitioned.replication_factor
+            for name, partitioned in self.tables.items()
+        }
+
+
+def partition_database(db: TpchDatabase, nodes: int) -> PartitionedDatabase:
+    """Apply the Section 5.1 layout to ``db`` over ``nodes`` nodes."""
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+
+    tables: Dict[str, PartitionedTable] = {}
+
+    def register(name: str, parts: List[Table], scheme: str,
+                 keys: Tuple[str, ...] = ()) -> None:
+        tables[name] = PartitionedTable(
+            name=name,
+            parts=tuple(parts),
+            scheme=scheme,
+            keys=keys,
+            logical_rows=db[name].num_rows,
+        )
+
+    # replicated dimension tables
+    register("region", replicate(db["region"], nodes), "replicated")
+    register("nation", replicate(db["nation"], nodes), "replicated")
+
+    # LINEITEM and ORDERS co-partitioned on the order key
+    order_parts = hash_partition(db["orders"], ["o_orderkey"], nodes)
+    lineitem_parts = hash_partition(db["lineitem"], ["l_orderkey"], nodes)
+    register("orders", order_parts, "hash", ("o_orderkey",))
+    register("lineitem", lineitem_parts, "hash", ("l_orderkey",))
+
+    # RREF: referenced tuples follow their referencing partitions
+    register(
+        "customer",
+        rref_partition(db["customer"], ["c_custkey"],
+                       order_parts, ["o_custkey"]),
+        "rref", ("c_custkey",),
+    )
+    register(
+        "supplier",
+        rref_partition(db["supplier"], ["s_suppkey"],
+                       lineitem_parts, ["l_suppkey"]),
+        "rref", ("s_suppkey",),
+    )
+    register(
+        "part",
+        rref_partition(db["part"], ["p_partkey"],
+                       lineitem_parts, ["l_partkey"]),
+        "rref", ("p_partkey",),
+    )
+    register(
+        "partsupp",
+        rref_partition(db["partsupp"], ["ps_partkey", "ps_suppkey"],
+                       lineitem_parts, ["l_partkey", "l_suppkey"]),
+        "rref", ("ps_partkey", "ps_suppkey"),
+    )
+
+    return PartitionedDatabase(nodes=nodes, tables=tables)

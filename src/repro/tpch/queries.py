@@ -1,0 +1,889 @@
+"""The paper's TPC-H workload (Section 5.1/5.2).
+
+Five queries of varying complexity:
+
+* **Q1** -- scan + aggregation, no join, *no free operator*;
+* **Q3** -- 3-way join (customer, orders, lineitem), 2 free operators;
+* **Q5** -- 6-way join chain with aggregation on top (Figure 9),
+  5 free operators numbered 1-5 exactly as in the paper;
+* **Q1C** -- a nested variant of Q1: the inner aggregate's result joins
+  back against LINEITEM, putting a *cheap aggregation operator in the
+  middle of the plan* -- the checkpoint the cost-based scheme exploits;
+* **Q2C** -- a DAG-structured variant of Q2: the inner aggregation query
+  (4-way join) becomes a common table expression consumed by two outer
+  queries with different PART filters.
+
+Plan shape convention: base-table scans are folded into the operator that
+consumes them, the way XDB executes sub-plans (each sub-plan is a SQL
+statement over base MySQL tables plus materialized temp inputs).  An
+operator's ``work_rows`` therefore includes the base rows it reads; its
+own output is the only thing a materialization checkpoint can capture --
+base tables are durable and never need checkpointing.
+
+Each query is exposed in two forms:
+
+* :meth:`TpchQuery.logical_ops` -- cardinality-annotated logical operators
+  for an arbitrary scale factor, from the analytical model of
+  :mod:`repro.tpch.cardinality`; :func:`build_query_plan` turns them into
+  a costed :class:`repro.core.Plan`;
+* :meth:`TpchQuery.physical_tree` -- a really executable operator tree for
+  the mini engine, used at small scale factors to validate the analytical
+  cardinalities and to drive the examples.
+
+The default Q5 variant uses the paper's "low selectivity" setting (the
+o_orderdate window spans the full 1992-1998 range), which is the variant
+behind the 905 s SF = 100 baseline of Experiments 2b/3a; pass an explicit
+window to :func:`q5_logical_with_dates` for the standard one-year Q5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..core.plan import Plan
+from ..relational.expressions import Col, Func
+from ..relational.operators import (
+    AggregateSpec,
+    CteBuffer,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    PhysicalOperator,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+from ..relational.schema import ColumnType
+from ..stats.estimates import CostParameters, LogicalOperator, build_plan
+from . import cardinality as card
+from .datagen import TpchDatabase
+from .schema import MAX_ORDER_DATE, MIN_ORDER_DATE, date_ordinal
+
+FLOAT = ColumnType.FLOAT
+INT = ColumnType.INT
+STRING = ColumnType.STRING
+DATE = ColumnType.DATE
+
+#: the paper's "low selectivity" Q5 window: all order dates qualify
+Q5_DATE_LO = MIN_ORDER_DATE
+Q5_DATE_HI = MAX_ORDER_DATE + 1
+#: the standard TPC-H one-year Q5 window
+Q5_YEAR_LO = date_ordinal(1994, 1, 1)
+Q5_YEAR_HI = date_ordinal(1995, 1, 1)
+Q3_CUTOFF = date_ordinal(1995, 3, 15)
+Q1_CUTOFF = date_ordinal(1998, 9, 2)
+
+#: intermediate-result row widths (bytes) used by the analytical model;
+#: chosen to match the columns each intermediate actually carries
+_WIDTH = {
+    "scan_narrow": 16,
+    "scan_wide": 48,
+    "join_small": 24,
+    "join_medium": 36,
+    "join_wide": 56,
+    "agg_row": 48,
+}
+
+
+@dataclass(frozen=True)
+class TpchQuery:
+    """One workload query: name, plan shape, and executable form."""
+
+    name: str
+    description: str
+    logical_ops: Callable[[float], List[LogicalOperator]]
+    physical_tree: Callable[[TpchDatabase], PhysicalOperator]
+
+    @property
+    def free_operator_count(self) -> int:
+        return sum(1 for op in self.logical_ops(1.0) if op.free)
+
+
+def build_query_plan(
+    name: str, scale_factor: float, params: CostParameters
+) -> Plan:
+    """Costed logical plan for ``name`` at ``scale_factor``."""
+    return build_plan(QUERIES[name].logical_ops(scale_factor), params)
+
+
+# ======================================================================
+# Q1 -- scan + aggregate (no join, no free operator)
+# ======================================================================
+def _q1_logical(sf: float) -> List[LogicalOperator]:
+    lineitems = card.table_rows("lineitem", sf)
+    filtered = lineitems * 0.99  # l_shipdate <= '1998-09-02' keeps ~99 %
+    return [
+        LogicalOperator(
+            op_id=1, name="ScanFilter(L)", inputs=(),
+            work_rows=lineitems, out_rows=filtered,
+            out_bytes=filtered * _WIDTH["scan_wide"],
+            base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=2, name="Aggregate(flag,status)", inputs=(1,),
+            work_rows=filtered, out_rows=6,
+            out_bytes=6 * _WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+    ]
+
+
+def _q1_physical(db: TpchDatabase) -> PhysicalOperator:
+    scan = Scan(db["lineitem"])
+    filtered = Filter(scan, Col("l_shipdate") <= Q1_CUTOFF)
+    disc_price = Col("l_extendedprice") * (Func("one_minus", lambda d: 1 - d,
+                                               Col("l_discount")))
+    charge = disc_price * (Func("one_plus", lambda t: 1 + t, Col("l_tax")))
+    aggregate = HashAggregate(
+        filtered,
+        group_by=["l_returnflag", "l_linestatus"],
+        aggregates=[
+            AggregateSpec("sum_qty", "sum", Col("l_quantity")),
+            AggregateSpec("sum_base_price", "sum", Col("l_extendedprice")),
+            AggregateSpec("sum_disc_price", "sum", disc_price),
+            AggregateSpec("sum_charge", "sum", charge),
+            AggregateSpec("avg_qty", "avg", Col("l_quantity")),
+            AggregateSpec("avg_price", "avg", Col("l_extendedprice")),
+            AggregateSpec("avg_disc", "avg", Col("l_discount")),
+            AggregateSpec("count_order", "count", Col("l_quantity"),
+                          out_type=INT),
+        ],
+        output_name="q1",
+    )
+    return Sort(aggregate, by=["l_returnflag", "l_linestatus"])
+
+
+# ======================================================================
+# Q3 -- 3-way join (2 free operators)
+# ======================================================================
+def _q3_logical(sf: float) -> List[LogicalOperator]:
+    customers = card.table_rows("customer", sf)
+    orders = card.table_rows("orders", sf)
+    lineitems = card.table_rows("lineitem", sf)
+    # o_orderdate < 1995-03-15: ~47.5 % of the 1992-1998 span; shipping
+    # after the cutoff is correlated with the order date (lineitems lag
+    # their order by <= 121 days), so the lineitem survival is small
+    date_orders = orders * 0.475
+    j1_out = date_orders * card.mktsegment_selectivity()
+    j2_out = (
+        j1_out * card.LINEITEMS_PER_ORDER * card.q3_lineitem_selectivity()
+    )
+    agg_out = j1_out * card.q3_order_survival()
+    return [
+        LogicalOperator(
+            op_id=1, name="Join(C,O)", inputs=(),
+            work_rows=customers + orders + j1_out,
+            out_rows=j1_out, out_bytes=j1_out * _WIDTH["join_small"],
+            free=True, base_inputs=2,
+        ),
+        LogicalOperator(
+            op_id=2, name="Join(CO,L)", inputs=(1,),
+            work_rows=lineitems + j1_out + j2_out,
+            out_rows=j2_out, out_bytes=j2_out * _WIDTH["join_medium"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=3, name="Aggregate(orderkey)", inputs=(2,),
+            work_rows=j2_out, out_rows=agg_out,
+            out_bytes=10 * _WIDTH["agg_row"],   # top-10 delivered
+            always_materialize=True,
+        ),
+    ]
+
+
+def _q3_physical(db: TpchDatabase) -> PhysicalOperator:
+    customers = Project(
+        Filter(Scan(db["customer"]), Col("c_mktsegment") == "BUILDING"),
+        [("c_custkey", Col("c_custkey"), INT)],
+        output_name="c",
+    )
+    orders = Project(
+        Filter(Scan(db["orders"]), Col("o_orderdate") < Q3_CUTOFF),
+        [("o_orderkey", Col("o_orderkey"), INT),
+         ("o_custkey", Col("o_custkey"), INT),
+         ("o_orderdate", Col("o_orderdate"), DATE),
+         ("o_shippriority", Col("o_shippriority"), INT)],
+        output_name="o",
+    )
+    lineitems = Project(
+        Filter(Scan(db["lineitem"]), Col("l_shipdate") > Q3_CUTOFF),
+        [("l_orderkey", Col("l_orderkey"), INT),
+         ("l_extendedprice", Col("l_extendedprice"), FLOAT),
+         ("l_discount", Col("l_discount"), FLOAT)],
+        output_name="l",
+    )
+    join_co = HashJoin(customers, orders, ["c_custkey"], ["o_custkey"],
+                       output_name="co")
+    join_col = HashJoin(join_co, lineitems, ["o_orderkey"], ["l_orderkey"],
+                        output_name="col")
+    revenue = Col("l_extendedprice") * Func(
+        "one_minus", lambda d: 1 - d, Col("l_discount")
+    )
+    aggregate = HashAggregate(
+        join_col,
+        group_by=["o_orderkey", "o_orderdate", "o_shippriority"],
+        aggregates=[AggregateSpec("revenue", "sum", revenue)],
+        output_name="q3",
+    )
+    return Limit(Sort(aggregate, by=["revenue"], descending=True), 10)
+
+
+# ======================================================================
+# Q5 -- 6-way join chain (Figure 9; free operators 1-5)
+# ======================================================================
+def _q5_logical(
+    sf: float,
+    date_lo: int = Q5_DATE_LO,
+    date_hi: int = Q5_DATE_HI,
+) -> List[LogicalOperator]:
+    customers = card.table_rows("customer", sf)
+    orders = card.table_rows("orders", sf)
+    lineitems = card.table_rows("lineitem", sf)
+    suppliers = card.table_rows("supplier", sf)
+    date_sel = card.date_range_selectivity(date_hi - date_lo)
+
+    o_filtered = orders * date_sel
+    j1_out = card.nations_in_region()                 # sigma(R) |><| N
+    j2_out = customers * card.nation_fraction()       # |><| C
+    j3_out = o_filtered * card.nation_fraction()      # |><| sigma(O)
+    j4_out = j3_out * card.LINEITEMS_PER_ORDER        # |><| L
+    j5_out = j4_out * card.same_nation_join_selectivity()  # |><| S
+    return [
+        LogicalOperator(
+            op_id=1, name="Join(sigma(R),N)", inputs=(),
+            work_rows=5 + 25 + j1_out,
+            out_rows=j1_out, out_bytes=j1_out * _WIDTH["join_small"],
+            free=True, base_inputs=2,
+        ),
+        LogicalOperator(
+            op_id=2, name="Join(RN,C)", inputs=(1,),
+            work_rows=customers + j1_out + j2_out,
+            out_rows=j2_out, out_bytes=j2_out * _WIDTH["join_small"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=3, name="Join(RNC,sigma(O))", inputs=(2,),
+            work_rows=orders + j2_out + j3_out,
+            out_rows=j3_out, out_bytes=j3_out * _WIDTH["join_medium"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=4, name="Join(RNCO,L)", inputs=(3,),
+            work_rows=lineitems + j3_out + j4_out,
+            out_rows=j4_out, out_bytes=j4_out * _WIDTH["join_wide"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=5, name="Join(RNCOL,S)", inputs=(4,),
+            work_rows=j4_out + suppliers + j5_out,
+            out_rows=j5_out, out_bytes=j5_out * _WIDTH["join_wide"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=6, name="Aggregate(n_name)", inputs=(5,),
+            work_rows=j5_out, out_rows=5,
+            out_bytes=5 * _WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+    ]
+
+
+def _q5_physical(
+    db: TpchDatabase,
+    date_lo: int = Q5_DATE_LO,
+    date_hi: int = Q5_DATE_HI,
+) -> PhysicalOperator:
+    region = Project(
+        Filter(Scan(db["region"]), Col("r_name") == "ASIA"),
+        [("r_regionkey", Col("r_regionkey"), INT)],
+        output_name="r",
+    )
+    nation = Project(
+        Scan(db["nation"]),
+        [("n_nationkey", Col("n_nationkey"), INT),
+         ("n_name", Col("n_name"), STRING),
+         ("n_regionkey", Col("n_regionkey"), INT)],
+        output_name="n",
+    )
+    join_rn = Project(
+        HashJoin(region, nation, ["r_regionkey"], ["n_regionkey"]),
+        [("n_nationkey", Col("n_nationkey"), INT),
+         ("n_name", Col("n_name"), STRING)],
+        output_name="rn",
+    )
+    customer = Project(
+        Scan(db["customer"]),
+        [("c_custkey", Col("c_custkey"), INT),
+         ("c_nationkey", Col("c_nationkey"), INT)],
+        output_name="c",
+    )
+    join_rnc = HashJoin(join_rn, customer, ["n_nationkey"], ["c_nationkey"],
+                        output_name="rnc")
+    orders = Project(
+        Filter(
+            Scan(db["orders"]),
+            (Col("o_orderdate") >= date_lo) & (Col("o_orderdate") < date_hi),
+        ),
+        [("o_orderkey", Col("o_orderkey"), INT),
+         ("o_custkey", Col("o_custkey"), INT)],
+        output_name="o",
+    )
+    join_rnco = HashJoin(join_rnc, orders, ["c_custkey"], ["o_custkey"],
+                         output_name="rnco")
+    lineitem = Project(
+        Scan(db["lineitem"]),
+        [("l_orderkey", Col("l_orderkey"), INT),
+         ("l_suppkey", Col("l_suppkey"), INT),
+         ("l_extendedprice", Col("l_extendedprice"), FLOAT),
+         ("l_discount", Col("l_discount"), FLOAT)],
+        output_name="l",
+    )
+    join_rncol = HashJoin(join_rnco, lineitem, ["o_orderkey"], ["l_orderkey"],
+                          output_name="rncol")
+    supplier = Project(
+        Scan(db["supplier"]),
+        [("s_suppkey", Col("s_suppkey"), INT),
+         ("s_nationkey", Col("s_nationkey"), INT)],
+        output_name="s",
+    )
+    # equi-join on supplier key and on matching nations (the Q5 condition
+    # c_nationkey = s_nationkey folds into the join keys)
+    join_all = HashJoin(
+        join_rncol, supplier,
+        ["l_suppkey", "n_nationkey"], ["s_suppkey", "s_nationkey"],
+        output_name="rncols",
+    )
+    revenue = Col("l_extendedprice") * Func(
+        "one_minus", lambda d: 1 - d, Col("l_discount")
+    )
+    aggregate = HashAggregate(
+        join_all,
+        group_by=["n_name"],
+        aggregates=[AggregateSpec("revenue", "sum", revenue)],
+        output_name="q5",
+    )
+    return Sort(aggregate, by=["revenue"], descending=True)
+
+
+# ======================================================================
+# Q1C -- nested Q1 with an aggregation in the middle of the plan
+# ======================================================================
+def _q1c_logical(sf: float) -> List[LogicalOperator]:
+    lineitems = card.table_rows("lineitem", sf)
+    above_avg = lineitems * 0.5   # price above the per-group average
+    return [
+        LogicalOperator(
+            op_id=1, name="AvgByStatus", inputs=(),
+            work_rows=lineitems, out_rows=6,
+            out_bytes=6 * _WIDTH["agg_row"],
+            free=True, base_inputs=1,   # the cheap mid-plan checkpoint
+        ),
+        LogicalOperator(
+            op_id=2, name="Join(L,avg)+Filter", inputs=(1,),
+            work_rows=lineitems + 6 + above_avg,
+            out_rows=above_avg,
+            out_bytes=above_avg * _WIDTH["join_medium"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=3, name="CountByStatus", inputs=(2,),
+            work_rows=above_avg, out_rows=6,
+            out_bytes=6 * _WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+    ]
+
+
+def _q1c_physical(db: TpchDatabase) -> PhysicalOperator:
+    inner = HashAggregate(
+        Scan(db["lineitem"]),
+        group_by=["l_returnflag", "l_linestatus"],
+        aggregates=[AggregateSpec("avg_price", "avg",
+                                  Col("l_extendedprice"))],
+        output_name="inner_avg",
+    )
+    outer_scan = Project(
+        Scan(db["lineitem"]),
+        [("flag", Col("l_returnflag"), STRING),
+         ("status", Col("l_linestatus"), STRING),
+         ("price", Col("l_extendedprice"), FLOAT)],
+        output_name="louter",
+    )
+    joined = HashJoin(
+        inner, outer_scan,
+        ["l_returnflag", "l_linestatus"], ["flag", "status"],
+        output_name="l_with_avg",
+    )
+    above = Filter(joined, Col("price") > Col("avg_price"))
+    return HashAggregate(
+        above,
+        group_by=["l_returnflag", "l_linestatus"],
+        aggregates=[AggregateSpec("items_above_avg", "count", Col("price"),
+                                  out_type=INT)],
+        output_name="q1c",
+    )
+
+
+# ======================================================================
+# Q2C -- DAG-structured Q2 variant: one CTE, two outer queries
+# ======================================================================
+def _q2c_logical(sf: float) -> List[LogicalOperator]:
+    partsupp = card.table_rows("partsupp", sf)
+    suppliers = card.table_rows("supplier", sf)
+    parts = card.table_rows("part", sf)
+    europe_fraction = card.nation_fraction()
+    i3_out = partsupp * europe_fraction
+    # parts with >= 1 European supplier: 1 - (1 - 1/5)^4
+    cte_out = parts * (1.0 - (1.0 - europe_fraction) ** 4)
+    p1_out = parts * card.part_size_selectivity() * 3        # size IN (...)
+    p2_out = parts * card.part_type_selectivity() * 5        # type IN (...)
+    o1a_out = p1_out * (cte_out / parts)
+    o2a_out = p2_out * (cte_out / parts)
+    # joining back to the European partsupp rows on (partkey, min cost)
+    # keeps ~one supplier per part
+    o1b_out = o1a_out * 1.05
+    o2b_out = o2a_out * 1.05
+    return [
+        LogicalOperator(
+            op_id=1, name="Join(PS,S)", inputs=(),
+            work_rows=partsupp + suppliers + partsupp,
+            out_rows=partsupp, out_bytes=partsupp * _WIDTH["join_small"],
+            free=True, base_inputs=2,
+        ),
+        LogicalOperator(
+            op_id=2, name="Join(PSS,N)", inputs=(1,),
+            work_rows=partsupp + 25 + partsupp,
+            out_rows=partsupp, out_bytes=partsupp * _WIDTH["join_medium"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=3, name="Join(PSSN,sigma(R))", inputs=(2,),
+            work_rows=partsupp + 1 + i3_out,
+            out_rows=i3_out, out_bytes=i3_out * _WIDTH["join_medium"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=4, name="MinCostByPart (CTE)", inputs=(3,),
+            work_rows=i3_out, out_rows=cte_out,
+            out_bytes=cte_out * 12,   # (partkey, min cost): cheap checkpoint
+            free=True,
+        ),
+        LogicalOperator(
+            op_id=5, name="Join(sigma1(P),CTE)", inputs=(4,),
+            work_rows=parts + cte_out + o1a_out,
+            out_rows=o1a_out, out_bytes=o1a_out * _WIDTH["join_medium"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=6, name="Join(sigma2(P),CTE)", inputs=(4,),
+            work_rows=parts + cte_out + o2a_out,
+            out_rows=o2a_out, out_bytes=o2a_out * _WIDTH["join_medium"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=7, name="Join(outer1,EURPS)", inputs=(5, 3),
+            work_rows=o1a_out + i3_out + o1b_out,
+            out_rows=o1b_out, out_bytes=o1b_out * _WIDTH["join_wide"],
+            free=True,
+        ),
+        LogicalOperator(
+            op_id=8, name="Join(outer2,EURPS)", inputs=(6, 3),
+            work_rows=o2a_out + i3_out + o2b_out,
+            out_rows=o2b_out, out_bytes=o2b_out * _WIDTH["join_wide"],
+            free=True,
+        ),
+        LogicalOperator(
+            op_id=9, name="TopK outer1", inputs=(7,),
+            work_rows=o1b_out, out_rows=100,
+            out_bytes=100 * _WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+        LogicalOperator(
+            op_id=10, name="TopK outer2", inputs=(8,),
+            work_rows=o2b_out, out_rows=100,
+            out_bytes=100 * _WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+    ]
+
+
+def _q2c_physical(db: TpchDatabase) -> PhysicalOperator:
+    supplier = Project(
+        Scan(db["supplier"]),
+        [("s_suppkey", Col("s_suppkey"), INT),
+         ("s_name", Col("s_name"), STRING),
+         ("s_nationkey", Col("s_nationkey"), INT)],
+        output_name="s",
+    )
+    nation = Project(
+        Scan(db["nation"]),
+        [("n_nationkey", Col("n_nationkey"), INT),
+         ("n_regionkey", Col("n_regionkey"), INT)],
+        output_name="n",
+    )
+    region = Project(
+        Filter(Scan(db["region"]), Col("r_name") == "EUROPE"),
+        [("r_regionkey", Col("r_regionkey"), INT)],
+        output_name="r",
+    )
+    join_ps_s = HashJoin(Scan(db["partsupp"]), supplier,
+                         ["ps_suppkey"], ["s_suppkey"], output_name="pss")
+    join_pss_n = HashJoin(join_ps_s, nation,
+                          ["s_nationkey"], ["n_nationkey"],
+                          output_name="pssn")
+    european_ps = Project(
+        HashJoin(join_pss_n, region, ["n_regionkey"], ["r_regionkey"]),
+        [("ps_partkey", Col("ps_partkey"), INT),
+         ("ps_suppkey", Col("ps_suppkey"), INT),
+         ("ps_supplycost", Col("ps_supplycost"), FLOAT),
+         ("s_name", Col("s_name"), STRING)],
+        output_name="eur_ps",
+    )
+    european_buffer = CteBuffer(european_ps, cte_name="eur_ps")
+    cte = CteBuffer(
+        HashAggregate(
+            european_buffer,
+            group_by=["ps_partkey"],
+            aggregates=[AggregateSpec("min_cost", "min",
+                                      Col("ps_supplycost"))],
+            output_name="min_cost_cte",
+        ),
+        cte_name="min_cost_cte",
+    )
+
+    def outer(part_predicate, name: str) -> PhysicalOperator:
+        parts = Project(
+            Filter(Scan(db["part"]), part_predicate),
+            [("p_partkey", Col("p_partkey"), INT),
+             ("p_type", Col("p_type"), STRING),
+             ("p_size", Col("p_size"), INT),
+             ("p_retailprice", Col("p_retailprice"), FLOAT)],
+            output_name=f"p_{name}",
+        )
+        with_min = HashJoin(parts, cte, ["p_partkey"], ["ps_partkey"],
+                            output_name=f"{name}_min")
+        with_supplier = HashJoin(
+            with_min, european_buffer,
+            ["p_partkey", "min_cost"], ["ps_partkey", "ps_supplycost"],
+            output_name=f"{name}_full",
+        )
+        return Limit(
+            Sort(with_supplier, by=["p_retailprice"], descending=True), 100
+        )
+
+    outer1 = outer(Col("p_size").is_in([15, 25, 35]), "outer1")
+    outer2 = outer(
+        Func("is_brass", lambda t: t.endswith("BRASS"), Col("p_type")),
+        "outer2",
+    )
+
+    # deliver both outer results; a final UnionAll keeps the tree rooted,
+    # mirroring the coordinator collecting the two sinks
+    common = [
+        ("p_partkey", Col("p_partkey"), INT),
+        ("min_cost", Col("min_cost"), FLOAT),
+        ("s_name", Col("s_name"), STRING),
+    ]
+    return UnionAll(
+        Project(outer1, common, output_name="q2c_outer1"),
+        Project(outer2, common, output_name="q2c_outer2"),
+    )
+
+
+#: the workload registry, in the paper's reporting order
+# ======================================================================
+# Q6 -- forecasting revenue change (scan + filter + scalar aggregate)
+# ======================================================================
+Q6_DATE_LO = date_ordinal(1994, 1, 1)
+Q6_DATE_HI = date_ordinal(1995, 1, 1)
+
+
+def _q6_logical(sf: float) -> List[LogicalOperator]:
+    lineitems = card.table_rows("lineitem", sf)
+    # shipdate in one year (~15 %), discount in [0.05, 0.07] of the
+    # uniform [0, 0.10] range (~27 % at cent granularity), quantity < 24
+    # of uniform 1..50 (~46 %)
+    selectivity = (
+        card.date_range_selectivity(Q6_DATE_HI - Q6_DATE_LO)
+        * (3.0 / 11.0) * (23.0 / 50.0)
+    )
+    filtered = lineitems * selectivity
+    return [
+        LogicalOperator(
+            op_id=1, name="ScanFilter(L)", inputs=(),
+            work_rows=lineitems, out_rows=filtered,
+            out_bytes=filtered * _WIDTH["scan_narrow"],
+            base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=2, name="SumRevenue", inputs=(1,),
+            work_rows=filtered, out_rows=1,
+            out_bytes=_WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+    ]
+
+
+def _q6_physical(db: TpchDatabase) -> PhysicalOperator:
+    filtered = Filter(
+        Scan(db["lineitem"]),
+        (Col("l_shipdate") >= Q6_DATE_LO + 1)          # ships next year
+        & (Col("l_shipdate") < Q6_DATE_HI + 1)
+        & (Col("l_discount") >= 0.05) & (Col("l_discount") <= 0.07)
+        & (Col("l_quantity") < 24),
+    )
+    revenue = Col("l_extendedprice") * Col("l_discount")
+    return HashAggregate(
+        filtered, group_by=[],
+        aggregates=[AggregateSpec("revenue", "sum", revenue)],
+        output_name="q6",
+    )
+
+
+# ======================================================================
+# Q10 -- returned-item reporting (3-way join + top-20; 3 free operators)
+# ======================================================================
+Q10_DATE_LO = date_ordinal(1993, 10, 1)
+Q10_DATE_HI = date_ordinal(1994, 1, 1)
+
+
+def _q10_logical(sf: float) -> List[LogicalOperator]:
+    customers = card.table_rows("customer", sf)
+    orders = card.table_rows("orders", sf)
+    lineitems = card.table_rows("lineitem", sf)
+    quarter_sel = card.date_range_selectivity(Q10_DATE_HI - Q10_DATE_LO)
+    quarter_orders = orders * quarter_sel
+    # l_returnflag = 'R' is one of the three uniform flags
+    j1_out = quarter_orders * card.LINEITEMS_PER_ORDER / 3.0
+    j2_out = j1_out
+    j3_out = j2_out
+    # customers with >= 1 returned lineitem in the quarter
+    agg_out = quarter_orders * (1.0 - (2.0 / 3.0) ** 4)
+    return [
+        LogicalOperator(
+            op_id=1, name="Join(sigma(O),sigma(L))", inputs=(),
+            work_rows=orders + lineitems + j1_out,
+            out_rows=j1_out, out_bytes=j1_out * _WIDTH["join_medium"],
+            free=True, base_inputs=2,
+        ),
+        LogicalOperator(
+            op_id=2, name="Join(OL,C)", inputs=(1,),
+            work_rows=customers + j1_out + j2_out,
+            out_rows=j2_out, out_bytes=j2_out * _WIDTH["join_wide"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=3, name="Join(OLC,N)", inputs=(2,),
+            work_rows=25 + j2_out + j3_out,
+            out_rows=j3_out, out_bytes=j3_out * _WIDTH["join_wide"],
+            free=True, base_inputs=1,
+        ),
+        LogicalOperator(
+            op_id=4, name="TopRevenue(cust)", inputs=(3,),
+            work_rows=j3_out, out_rows=20,
+            out_bytes=20 * _WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+    ]
+
+
+def _q10_physical(db: TpchDatabase, top_k: int = 20) -> PhysicalOperator:
+    """Q10's tree; ``top_k=0`` skips the final truncation (used by the
+    partition-parallel merge, which must see untruncated partials)."""
+    orders = Project(
+        Filter(
+            Scan(db["orders"]),
+            (Col("o_orderdate") >= Q10_DATE_LO)
+            & (Col("o_orderdate") < Q10_DATE_HI),
+        ),
+        [("o_orderkey", Col("o_orderkey"), INT),
+         ("o_custkey", Col("o_custkey"), INT)],
+        output_name="o",
+    )
+    lineitems = Project(
+        Filter(Scan(db["lineitem"]), Col("l_returnflag") == "R"),
+        [("l_orderkey", Col("l_orderkey"), INT),
+         ("l_extendedprice", Col("l_extendedprice"), FLOAT),
+         ("l_discount", Col("l_discount"), FLOAT)],
+        output_name="l",
+    )
+    join_ol = HashJoin(orders, lineitems, ["o_orderkey"], ["l_orderkey"],
+                       output_name="ol")
+    customers = Project(
+        Scan(db["customer"]),
+        [("c_custkey", Col("c_custkey"), INT),
+         ("c_name", Col("c_name"), STRING),
+         ("c_nationkey", Col("c_nationkey"), INT),
+         ("c_acctbal", Col("c_acctbal"), FLOAT)],
+        output_name="c",
+    )
+    join_olc = HashJoin(join_ol, customers, ["o_custkey"], ["c_custkey"],
+                        output_name="olc")
+    nation = Project(
+        Scan(db["nation"]),
+        [("n_nationkey", Col("n_nationkey"), INT),
+         ("n_name", Col("n_name"), STRING)],
+        output_name="n",
+    )
+    join_olcn = HashJoin(join_olc, nation,
+                         ["c_nationkey"], ["n_nationkey"],
+                         output_name="olcn")
+    revenue = Col("l_extendedprice") * Func(
+        "one_minus", lambda d: 1 - d, Col("l_discount")
+    )
+    aggregate = HashAggregate(
+        join_olcn,
+        group_by=["c_custkey", "c_name", "c_acctbal", "n_name"],
+        aggregates=[AggregateSpec("revenue", "sum", revenue)],
+        output_name="q10",
+    )
+    return Limit(Sort(aggregate, by=["revenue"], descending=True), 20)
+
+
+# ======================================================================
+# Q13 -- customer distribution (left outer join + double aggregation)
+# ======================================================================
+def _q13_logical(sf: float) -> List[LogicalOperator]:
+    customers = card.table_rows("customer", sf)
+    orders = card.table_rows("orders", sf)
+    # orders not in status 'P' (one of three uniform statuses)
+    kept_orders = orders * (2.0 / 3.0)
+    # every customer survives the left join; matched customers fan out
+    j1_out = kept_orders + customers * math_exp_zero_orders(sf)
+    return [
+        LogicalOperator(
+            op_id=1, name="LeftJoin(C,sigma(O))", inputs=(),
+            work_rows=customers + orders + j1_out,
+            out_rows=j1_out, out_bytes=j1_out * _WIDTH["join_small"],
+            free=True, base_inputs=2,
+        ),
+        LogicalOperator(
+            op_id=2, name="CountPerCustomer", inputs=(1,),
+            work_rows=j1_out, out_rows=customers,
+            out_bytes=customers * 12,   # (custkey, count): tiny rows
+            free=True,
+        ),
+        LogicalOperator(
+            op_id=3, name="Distribution(c_count)", inputs=(2,),
+            work_rows=customers, out_rows=40,
+            out_bytes=40 * _WIDTH["agg_row"],
+            always_materialize=True,
+        ),
+    ]
+
+
+def math_exp_zero_orders(sf: float) -> float:
+    """Fraction of customers with no orders at all (Poisson tail).
+
+    Orders pick customers uniformly, ~10 per customer on average, so
+    ``P(no order) = e^-10`` is negligible at scale but real at the tiny
+    generated scale factors.
+    """
+    import math
+
+    return math.exp(-card.orders_per_customer(sf))
+
+
+def _q13_physical(db: TpchDatabase) -> PhysicalOperator:
+    from ..relational.operators import Distinct, TopK
+
+    customers = Project(
+        Scan(db["customer"]),
+        [("c_custkey", Col("c_custkey"), INT)],
+        output_name="c",
+    )
+    orders = Project(
+        Filter(Scan(db["orders"]), Col("o_orderstatus") != "P"),
+        [("o_orderkey", Col("o_orderkey"), INT),
+         ("o_custkey", Col("o_custkey"), INT)],
+        output_name="o",
+    )
+    joined = HashJoin(
+        customers, orders, ["c_custkey"], ["o_custkey"],
+        output_name="co", join_type="left",
+    )
+    per_customer = HashAggregate(
+        joined,
+        group_by=["c_custkey"],
+        aggregates=[AggregateSpec("c_count", "count", Col("o_orderkey"),
+                                  out_type=INT)],
+        output_name="per_customer",
+    )
+    distribution = HashAggregate(
+        per_customer,
+        group_by=["c_count"],
+        aggregates=[AggregateSpec("custdist", "count", Col("c_custkey"),
+                                  out_type=INT)],
+        output_name="q13",
+    )
+    return TopK(distribution, by=["custdist", "c_count"], k=40,
+                descending=True)
+
+
+QUERIES: Dict[str, TpchQuery] = {
+    "Q1": TpchQuery(
+        name="Q1",
+        description="Pricing summary report: scan + aggregate, no join",
+        logical_ops=_q1_logical,
+        physical_tree=_q1_physical,
+    ),
+    "Q3": TpchQuery(
+        name="Q3",
+        description="Shipping priority: 3-way join",
+        logical_ops=_q3_logical,
+        physical_tree=_q3_physical,
+    ),
+    "Q5": TpchQuery(
+        name="Q5",
+        description="Local supplier volume: 6-way join chain (Figure 9)",
+        logical_ops=_q5_logical,
+        physical_tree=_q5_physical,
+    ),
+    "Q1C": TpchQuery(
+        name="Q1C",
+        description="Nested Q1: mid-plan aggregation joined back to L",
+        logical_ops=_q1c_logical,
+        physical_tree=_q1c_physical,
+    ),
+    "Q2C": TpchQuery(
+        name="Q2C",
+        description="DAG-structured Q2: one CTE feeding two outer queries",
+        logical_ops=_q2c_logical,
+        physical_tree=_q2c_physical,
+    ),
+    "Q6": TpchQuery(
+        name="Q6",
+        description="Forecasting revenue change: scan + scalar aggregate",
+        logical_ops=_q6_logical,
+        physical_tree=_q6_physical,
+    ),
+    "Q10": TpchQuery(
+        name="Q10",
+        description="Returned-item reporting: 3-way join, top-20",
+        logical_ops=_q10_logical,
+        physical_tree=_q10_physical,
+    ),
+    "Q13": TpchQuery(
+        name="Q13",
+        description="Customer distribution: left outer join + double agg",
+        logical_ops=_q13_logical,
+        physical_tree=_q13_physical,
+    ),
+}
+
+
+def q5_logical_with_dates(
+    sf: float, date_lo: int, date_hi: int
+) -> List[LogicalOperator]:
+    """Q5 with an explicit o_orderdate window (selectivity experiments)."""
+    return _q5_logical(sf, date_lo=date_lo, date_hi=date_hi)
+
+
+def q5_physical_with_dates(
+    db: TpchDatabase, date_lo: int, date_hi: int
+) -> PhysicalOperator:
+    """Executable Q5 with an explicit o_orderdate window."""
+    return _q5_physical(db, date_lo=date_lo, date_hi=date_hi)

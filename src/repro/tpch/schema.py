@@ -1,0 +1,161 @@
+"""TPC-H schema (the columns this reproduction's workload touches).
+
+Dates are stored as proleptic-Gregorian ordinals (ints) so comparisons and
+arithmetic stay trivial; :func:`date_ordinal` converts from calendar
+dates.  Scaling constants follow the TPC-H specification: base row counts
+at scale factor 1, multiplied linearly by SF (NATION and REGION are
+fixed-size).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict
+
+from ..relational.schema import ColumnType, TableSchema
+
+INT = ColumnType.INT
+FLOAT = ColumnType.FLOAT
+STRING = ColumnType.STRING
+DATE = ColumnType.DATE
+
+
+def date_ordinal(year: int, month: int, day: int) -> int:
+    """Calendar date -> ordinal int (comparable, subtractable)."""
+    return datetime.date(year, month, day).toordinal()
+
+
+#: first/last dates appearing in TPC-H order data
+MIN_ORDER_DATE = date_ordinal(1992, 1, 1)
+MAX_ORDER_DATE = date_ordinal(1998, 8, 2)
+
+#: rows per table at scale factor 1 (TPC-H specification, clause 4.2.5)
+BASE_ROWS: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,   # ~4 lineitems per order on average
+}
+
+#: fixed-size tables that do not scale with SF
+UNSCALED = {"region", "nation"}
+
+
+def rows_at_sf(table: str, scale_factor: float) -> int:
+    """Row count of ``table`` at the given scale factor."""
+    base = BASE_ROWS[table]
+    if table in UNSCALED:
+        return base
+    return max(1, round(base * scale_factor))
+
+
+REGION = TableSchema.build("region", [
+    ("r_regionkey", INT),
+    ("r_name", STRING),
+])
+
+NATION = TableSchema.build("nation", [
+    ("n_nationkey", INT),
+    ("n_name", STRING),
+    ("n_regionkey", INT),
+])
+
+SUPPLIER = TableSchema.build("supplier", [
+    ("s_suppkey", INT),
+    ("s_name", STRING),
+    ("s_nationkey", INT),
+    ("s_acctbal", FLOAT),
+])
+
+CUSTOMER = TableSchema.build("customer", [
+    ("c_custkey", INT),
+    ("c_name", STRING),
+    ("c_nationkey", INT),
+    ("c_mktsegment", STRING),
+    ("c_acctbal", FLOAT),
+])
+
+PART = TableSchema.build("part", [
+    ("p_partkey", INT),
+    ("p_name", STRING),
+    ("p_mfgr", STRING),
+    ("p_type", STRING),
+    ("p_size", INT),
+    ("p_retailprice", FLOAT),
+])
+
+PARTSUPP = TableSchema.build("partsupp", [
+    ("ps_partkey", INT),
+    ("ps_suppkey", INT),
+    ("ps_availqty", INT),
+    ("ps_supplycost", FLOAT),
+])
+
+ORDERS = TableSchema.build("orders", [
+    ("o_orderkey", INT),
+    ("o_custkey", INT),
+    ("o_orderstatus", STRING),
+    ("o_totalprice", FLOAT),
+    ("o_orderdate", DATE),
+    ("o_shippriority", INT),
+])
+
+LINEITEM = TableSchema.build("lineitem", [
+    ("l_orderkey", INT),
+    ("l_partkey", INT),
+    ("l_suppkey", INT),
+    ("l_linenumber", INT),
+    ("l_quantity", FLOAT),
+    ("l_extendedprice", FLOAT),
+    ("l_discount", FLOAT),
+    ("l_tax", FLOAT),
+    ("l_returnflag", STRING),
+    ("l_linestatus", STRING),
+    ("l_shipdate", DATE),
+])
+
+SCHEMAS: Dict[str, TableSchema] = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+    "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+    "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "RUSSIA", "SAUDI ARABIA", "VIETNAM", "UNITED KINGDOM", "UNITED STATES",
+]
+
+#: nationkey -> regionkey mapping from the TPC-H specification
+NATION_REGIONS = [
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2,
+    4, 4, 2, 4, 0, 0, 0, 1, 2, 3,
+    3, 4, 2, 3, 1,
+]
+
+MARKET_SEGMENTS = [
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+]
+
+PART_TYPES = [
+    f"{kind} {finish} {metal}"
+    for kind in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for finish in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for metal in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+]
+
+RETURN_FLAGS = ["R", "A", "N"]
+LINE_STATUSES = ["O", "F"]

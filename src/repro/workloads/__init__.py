@@ -1,0 +1,20 @@
+"""Workload generation and workload-level measurement."""
+
+from .mixed import WorkloadQuery, generate_mixed_workload
+from .runner import (
+    QueryOutcome,
+    WorkloadRun,
+    compare_workload,
+    format_comparison,
+    run_workload,
+)
+
+__all__ = [
+    "QueryOutcome",
+    "WorkloadQuery",
+    "WorkloadRun",
+    "compare_workload",
+    "format_comparison",
+    "generate_mixed_workload",
+    "run_workload",
+]

@@ -1,0 +1,75 @@
+"""Mixed analytical workloads (the paper's motivating scenario).
+
+Real deployments mix interactive queries that run for seconds with batch
+queries that run for hours [Ren et al., "Hadoop's Adolescence"].  This
+module generates such workloads over the TPC-H query set by assigning
+each query instance a scale factor drawn from a heavy-tailed
+distribution, so the examples can demonstrate that no static
+fault-tolerance scheme fits all of them while the cost-based scheme picks
+each query's sweet spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.plan import Plan
+from ..stats.calibration import default_parameters
+from ..stats.estimates import CostParameters
+from ..tpch.queries import build_query_plan
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query instance of a mixed workload."""
+
+    label: str            #: e.g. "Q5@SF12"
+    query_name: str       #: TPC-H query id
+    scale_factor: float
+    plan: Plan
+
+    @property
+    def baseline_cost(self) -> float:
+        """Failure-free cost of the no-mat plan (critical path proxy)."""
+        return self.plan.total_runtime_cost
+
+
+def generate_mixed_workload(
+    count: int = 20,
+    seed: int = 7,
+    query_names: Sequence[str] = ("Q1", "Q3", "Q5", "Q1C", "Q2C",
+                                  "Q6", "Q10", "Q13"),
+    sf_range: Tuple[float, float] = (0.5, 500.0),
+    params: CostParameters = None,
+) -> List[WorkloadQuery]:
+    """Draw ``count`` query instances with log-uniform scale factors.
+
+    Log-uniform scale factors produce the paper's "seconds to hours"
+    runtime spread; the mix of query shapes produces the varying
+    materialization-cost profiles.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if params is None:
+        params = default_parameters()
+    rng = np.random.default_rng(seed)
+    low, high = sf_range
+    if not 0 < low < high:
+        raise ValueError("sf_range must satisfy 0 < low < high")
+    workload: List[WorkloadQuery] = []
+    for index in range(count):
+        query_name = query_names[int(rng.integers(0, len(query_names)))]
+        scale_factor = float(np.exp(
+            rng.uniform(np.log(low), np.log(high))
+        ))
+        plan = build_query_plan(query_name, scale_factor, params)
+        workload.append(WorkloadQuery(
+            label=f"{query_name}@SF{scale_factor:.3g}",
+            query_name=query_name,
+            scale_factor=scale_factor,
+            plan=plan,
+        ))
+    return workload

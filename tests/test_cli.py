@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, parse_duration
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize("text,expected", [
+        ("90s", 90.0),
+        ("15m", 900.0),
+        ("2h", 7200.0),
+        ("1d", 86400.0),
+        ("1w", 604800.0),
+        ("42", 42.0),
+        ("0.5h", 1800.0),
+    ])
+    def test_valid(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "abc", "5x", "-3s", "0"])
+    def test_invalid(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_duration(text)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_registry_covers_every_paper_artifact(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "tab2", "fig8", "fig10", "fig11", "fig12", "tab3",
+            "fig13", "cardval",
+        }
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_single_fast_experiment(self, capsys):
+        assert main(["experiments", "--only", "tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant: Pt2" in out
+
+
+class TestAdviseCommand:
+    def test_flaky_cluster_recommends_checkpoints(self, capsys):
+        assert main([
+            "advise", "--query", "Q5", "--scale-factor", "100",
+            "--mtbf", "1h",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "materialize these intermediates" in out
+
+    def test_stable_cluster_recommends_nothing(self, capsys):
+        assert main([
+            "advise", "--query", "Q5", "--scale-factor", "100",
+            "--mtbf", "1w",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "materialize nothing" in out
+
+    def test_invalid_nodes(self, capsys):
+        assert main(["advise", "--nodes", "0"]) == 2
+
+
+class TestSimulateCommand:
+    def test_prints_all_schemes(self, capsys):
+        assert main([
+            "simulate", "--query", "Q3", "--scale-factor", "20",
+            "--mtbf", "2h", "--traces", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("all-mat", "no-mat (lineage)", "no-mat (restart)",
+                       "cost-based"):
+            assert scheme in out
+
+    def test_invalid_traces(self, capsys):
+        assert main(["simulate", "--traces", "0"]) == 2
+
+
+class TestWorkloadCommand:
+    def test_runs_and_names_a_winner(self, capsys):
+        assert main([
+            "workload", "--queries", "3", "--mtbf", "1d", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shortest makespan" in out
+        assert "cost-based" in out
+
+    def test_invalid_queries(self, capsys):
+        assert main(["workload", "--queries", "0"]) == 2
+
+
+class TestEstimateMtbfCommand:
+    def test_prints_estimate_and_hint(self, capsys):
+        assert main([
+            "estimate-mtbf", "--failures", "36", "--hours", "24",
+            "--nodes", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MTBF" in out and "repro advise" in out
+
+    def test_zero_failures_has_no_hint(self, capsys):
+        assert main([
+            "estimate-mtbf", "--failures", "0", "--hours", "24",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro advise" not in out
+
+    def test_invalid_input(self, capsys):
+        assert main([
+            "estimate-mtbf", "--failures", "-1", "--hours", "24",
+        ]) == 2
+
+
+class TestReplayCommand:
+    def test_renders_a_timeline(self, capsys):
+        assert main([
+            "replay", "--query", "Q3", "--scale-factor", "20",
+            "--mtbf", "20m", "--nodes", "3", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "node  0" in out and "node  2" in out
+        assert "useful work" in out
+
+    def test_invalid_nodes(self, capsys):
+        assert main(["replay", "--nodes", "0"]) == 2
+
+    def test_cardval_experiment_registered(self):
+        assert "cardval" in EXPERIMENTS

@@ -1,0 +1,173 @@
+"""Unit tests for the cost model (Equations 2-8, Table 2)."""
+
+import math
+
+import pytest
+
+from repro.core import cost_model
+from repro.core.cost_model import ClusterStats
+
+
+class TestClusterStats:
+    def test_defaults(self):
+        stats = ClusterStats(mtbf=3600)
+        assert stats.mttr == 0.0
+        assert stats.nodes == 1
+        assert stats.success_percentile == 0.95
+
+    def test_mtbf_cost_is_per_node_by_default(self):
+        stats = ClusterStats(mtbf=3600, nodes=10)
+        assert stats.mtbf_cost == pytest.approx(3600.0)
+
+    def test_mtbf_cost_with_node_scaling(self):
+        stats = ClusterStats(mtbf=3600, nodes=10, scale_mtbf_by_nodes=True)
+        assert stats.mtbf_cost == pytest.approx(360.0)
+
+    def test_const_cost_conversion(self):
+        stats = ClusterStats(mtbf=60, mttr=2, const_cost=10.0)
+        assert stats.mtbf_cost == pytest.approx(600.0)
+        assert stats.mttr_cost == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mtbf": 0}, {"mtbf": -1},
+        {"mtbf": 1, "mttr": -1},
+        {"mtbf": 1, "nodes": 0},
+        {"mtbf": 1, "const_cost": 0},
+        {"mtbf": 1, "const_pipe": 0},
+        {"mtbf": 1, "const_pipe": 1.2},
+        {"mtbf": 1, "success_percentile": 1.0},
+        {"mtbf": 1, "success_percentile": 0.0},
+    ])
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterStats(**kwargs)
+
+    def test_with_mtbf_and_with_nodes(self):
+        stats = ClusterStats(mtbf=60, mttr=1, nodes=2)
+        assert stats.with_mtbf(120).mtbf == 120
+        assert stats.with_nodes(5).nodes == 5
+        assert stats.with_mtbf(120).mttr == 1  # other fields preserved
+
+
+class TestWastedRuntime:
+    def test_exact_formula(self):
+        # w(c) = MTBF - t / (e^{t/MTBF} - 1)
+        expected = 60 - 4 / (math.exp(4 / 60) - 1)
+        assert cost_model.wasted_runtime_exact(4, 60) == \
+            pytest.approx(expected)
+
+    def test_exact_approaches_half_for_large_mtbf(self):
+        # Eq. 4: w(c) -> t(c)/2 as MTBF -> infinity
+        assert cost_model.wasted_runtime_exact(10, 1e9) == \
+            pytest.approx(5.0, rel=1e-6)
+
+    def test_exact_is_below_half(self):
+        # failures arrive earlier in expectation than uniformly
+        assert cost_model.wasted_runtime_exact(100, 60) < 50.0
+
+    def test_approximation_is_half(self):
+        assert cost_model.wasted_runtime_approx(7, 123) == 3.5
+
+    def test_zero_cost_wastes_nothing(self):
+        assert cost_model.wasted_runtime_exact(0, 60) == 0.0
+        assert cost_model.wasted_runtime_approx(0, 60) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            cost_model.wasted_runtime_exact(1, 0)
+        with pytest.raises(ValueError):
+            cost_model.wasted_runtime_exact(-1, 60)
+        with pytest.raises(ValueError):
+            cost_model.wasted_runtime_approx(-1, 60)
+
+
+class TestProbabilities:
+    def test_eta_gamma_complement(self):
+        eta = cost_model.failure_probability(4, 60)
+        gamma = cost_model.success_probability(4, 60)
+        assert eta + gamma == pytest.approx(1.0)
+
+    def test_table2_gamma_values(self):
+        # Table 2: gamma = 0.94, 0.95, 0.98, 0.97 (rounded)
+        gammas = [round(cost_model.success_probability(t, 60), 2)
+                  for t in (4, 3, 1, 2)]
+        assert gammas == [0.94, 0.95, 0.98, 0.97]
+
+    def test_cumulative_success_closed_form(self):
+        # S(A <= N) = 1 - eta^(N+1)
+        eta = cost_model.failure_probability(4, 60)
+        assert cost_model.cumulative_success(4, 60, 2) == \
+            pytest.approx(1 - eta ** 3)
+
+    def test_cumulative_success_converges_to_one(self):
+        assert cost_model.cumulative_success(4, 60, 500) == \
+            pytest.approx(1.0)
+
+
+class TestAttempts:
+    def test_zero_when_single_attempt_suffices(self):
+        # gamma(3, 60) = 0.951 >= 0.95 -> no extra attempts
+        assert cost_model.attempts(3, 60, 0.95) == 0.0
+
+    def test_positive_when_needed(self):
+        assert cost_model.attempts(4, 60, 0.95) > 0.0
+
+    def test_attempts_reach_the_percentile(self):
+        extra = cost_model.attempts(4, 60, 0.95)
+        assert cost_model.cumulative_success(4, 60, extra) == \
+            pytest.approx(0.95)
+
+    def test_monotone_in_cost(self):
+        values = [cost_model.attempts(t, 60) for t in (4, 10, 30, 60)]
+        assert values == sorted(values)
+
+    def test_zero_cost_needs_no_attempts(self):
+        assert cost_model.attempts(0, 60) == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            cost_model.attempts(1, 60, success_percentile=1.0)
+
+
+class TestOperatorRuntime:
+    def test_equation8_composition(self, stats_table2):
+        # T(c) = t + a*(w + MTTR)
+        extra = cost_model.attempts(4, 60, 0.95)
+        expected = 4 + extra * (2.0 + 0.0)
+        assert cost_model.operator_runtime(4, stats_table2) == \
+            pytest.approx(expected)
+
+    def test_mttr_contributes(self):
+        stats = ClusterStats(mtbf=60, mttr=10)
+        without = cost_model.operator_runtime(4, ClusterStats(mtbf=60))
+        with_repair = cost_model.operator_runtime(4, stats)
+        extra = cost_model.attempts(4, 60, 0.95)
+        assert with_repair - without == pytest.approx(extra * 10)
+
+    def test_exact_waste_is_cheaper(self, stats_table2):
+        approx = cost_model.operator_runtime(40, stats_table2)
+        exact = cost_model.operator_runtime(40, stats_table2,
+                                            exact_waste=True)
+        assert exact < approx
+
+
+class TestTable2Golden:
+    """The paper's worked example with exact arithmetic."""
+
+    def test_breakdown_rows(self, stats_table2):
+        rows = cost_model.breakdown_table([4, 3, 1, 2], stats_table2)
+        assert [row.wasted for row in rows] == [2.0, 1.5, 0.5, 1.0]
+        assert rows[0].attempts == pytest.approx(0.0929, abs=1e-4)
+        assert [row.attempts for row in rows[1:]] == [0.0, 0.0, 0.0]
+        assert rows[0].runtime == pytest.approx(4.1857, abs=1e-4)
+        assert [row.runtime for row in rows[1:]] == [3.0, 1.0, 2.0]
+
+    def test_path_costs_select_pt2_as_dominant(self, stats_table2):
+        cost_pt1 = cost_model.path_cost([4, 3, 1], stats_table2)
+        cost_pt2 = cost_model.path_cost([4, 3, 2], stats_table2)
+        assert cost_pt2 > cost_pt1
+        assert cost_pt1 == pytest.approx(8.186, abs=1e-3)
+        assert cost_pt2 == pytest.approx(9.186, abs=1e-3)
+
+    def test_failure_free_path_cost(self):
+        assert cost_model.path_cost_failure_free([4, 3, 1]) == 8.0

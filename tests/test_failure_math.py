@@ -1,0 +1,103 @@
+"""Unit tests for the failure-model mathematics (Figure 1)."""
+
+import math
+
+import pytest
+
+from repro.core import failure
+from repro.core.failure import DAY, HOUR, MINUTE, WEEK
+
+
+class TestSuccessProbability:
+    def test_zero_runtime_always_succeeds(self):
+        assert failure.success_probability(0.0, HOUR, 100) == 1.0
+
+    def test_single_node_formula(self):
+        assert failure.success_probability(3600, 3600, 1) == \
+            pytest.approx(math.exp(-1))
+
+    def test_cluster_exponent(self):
+        single = failure.success_probability(100, HOUR, 1)
+        assert failure.success_probability(100, HOUR, 10) == \
+            pytest.approx(single ** 10)
+
+    def test_monotone_decreasing_in_runtime(self):
+        values = [failure.success_probability(t, HOUR, 10)
+                  for t in (0, 60, 600, 3600)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_increasing_in_mtbf(self):
+        low = failure.success_probability(600, HOUR, 10)
+        high = failure.success_probability(600, WEEK, 10)
+        assert high > low
+
+    def test_failure_probability_complements(self):
+        p_ok = failure.success_probability(500, HOUR, 7)
+        p_fail = failure.failure_probability(500, HOUR, 7)
+        assert p_ok + p_fail == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            failure.success_probability(-1, HOUR, 1)
+        with pytest.raises(ValueError):
+            failure.success_probability(1, 0, 1)
+        with pytest.raises(ValueError):
+            failure.success_probability(1, HOUR, 0)
+
+
+class TestFigure1Anchors:
+    """Spot values readable off the paper's Figure 1."""
+
+    def test_cluster1_short_queries_already_fail(self):
+        # MTBF=1h, n=100: a 10-minute query succeeds ~6 in 100 times
+        p = failure.success_probability(10 * MINUTE, HOUR, 100)
+        assert p == pytest.approx(math.exp(-10 / 60 * 100), rel=1e-12)
+        assert p < 0.01  # essentially never succeeds
+
+    def test_cluster4_long_queries_still_succeed(self):
+        # MTBF=1 week, n=10: even 160 minutes has > 85 % success
+        p = failure.success_probability(160 * MINUTE, WEEK, 10)
+        assert p > 0.85
+
+    def test_cluster2_and_3_depend_on_runtime(self):
+        # both mid clusters cross 50 % somewhere within the plotted range
+        for mtbf, nodes in ((WEEK, 100), (HOUR, 10)):
+            start = failure.success_probability(1 * MINUTE, mtbf, nodes)
+            end = failure.success_probability(160 * MINUTE, mtbf, nodes)
+            assert start > 0.5 > end
+
+
+class TestPoisson:
+    def test_expected_failures(self):
+        assert failure.expected_failures(HOUR, HOUR, 1) == pytest.approx(1.0)
+        assert failure.expected_failures(HOUR, HOUR, 10) == pytest.approx(10.0)
+
+    def test_pmf_sums_to_one(self):
+        total = sum(failure.poisson_pmf(k, 2 * HOUR, HOUR, 1)
+                    for k in range(60))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_pmf_zero_matches_success_probability(self):
+        assert failure.poisson_pmf(0, 900, HOUR, 10) == \
+            pytest.approx(failure.success_probability(900, HOUR, 10))
+
+    def test_pmf_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            failure.poisson_pmf(-1, 1.0, HOUR)
+
+
+class TestEffectiveMtbf:
+    def test_superposition(self):
+        assert failure.effective_mtbf(HOUR, 10) == pytest.approx(360.0)
+
+    def test_single_node_identity(self):
+        assert failure.effective_mtbf(DAY, 1) == DAY
+
+
+class TestSuccessCurve:
+    def test_curve_matches_pointwise(self):
+        runtimes = [0, 600, 1200]
+        curve = failure.success_curve(runtimes, HOUR, 10)
+        assert curve == [
+            failure.success_probability(t, HOUR, 10) for t in runtimes
+        ]

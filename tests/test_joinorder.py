@@ -1,0 +1,193 @@
+"""Tests for join graphs, DP optimization, and exhaustive enumeration."""
+
+import pytest
+
+from repro.joinorder.dp import top_k_plans
+from repro.joinorder.exhaustive import count_join_trees, enumerate_join_trees
+from repro.joinorder.graph import JoinGraph
+from repro.joinorder.tpch_graphs import q3_join_graph, q5_join_graph
+from repro.joinorder.trees import JoinTree, cout_cost, left_deep, tree_to_plan
+from repro.stats.estimates import CostParameters
+
+
+def _triangle() -> JoinGraph:
+    graph = JoinGraph()
+    graph.add_relation("A", 100.0)
+    graph.add_relation("B", 200.0)
+    graph.add_relation("C", 50.0)
+    graph.add_edge("A", "B", 0.01)
+    graph.add_edge("B", "C", 0.02)
+    return graph
+
+
+class TestJoinGraph:
+    def test_duplicate_relation_rejected(self):
+        graph = JoinGraph()
+        graph.add_relation("A", 1.0)
+        with pytest.raises(ValueError):
+            graph.add_relation("A", 2.0)
+
+    def test_edge_validation(self):
+        graph = _triangle()
+        with pytest.raises(ValueError):
+            graph.add_edge("A", "Z", 0.5)
+        with pytest.raises(ValueError):
+            graph.add_edge("A", "B", 0.5)  # duplicate
+        with pytest.raises(ValueError):
+            graph.add_edge("A", "C", 0.0)  # invalid selectivity
+
+    def test_neighbors_and_connectivity(self):
+        graph = _triangle()
+        assert graph.neighbors("B") == ["A", "C"]
+        assert graph.connected({"A", "B", "C"})
+        assert not graph.connected({"A", "C"})
+        assert not graph.connected(set())
+
+    def test_set_cardinality_applies_internal_edges(self):
+        graph = _triangle()
+        assert graph.set_cardinality({"A", "B"}) == pytest.approx(200.0)
+        assert graph.set_cardinality({"A", "B", "C"}) == \
+            pytest.approx(100 * 200 * 50 * 0.01 * 0.02)
+
+    def test_crossing_edges(self):
+        graph = _triangle()
+        crossing = graph.crossing_edges({"A"}, {"B", "C"})
+        assert len(crossing) == 1
+        assert crossing[0].key == frozenset({"A", "B"})
+
+
+class TestJoinTree:
+    def test_leaf_and_join_structure(self):
+        tree = JoinTree.join(JoinTree.leaf("A"), JoinTree.leaf("B"))
+        assert tree.relations == frozenset({"A", "B"})
+        assert tree.join_count == 1
+        assert str(tree) == "(A |><| B)"
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            JoinTree(relation="A", left=JoinTree.leaf("B"))
+        with pytest.raises(ValueError):
+            JoinTree(left=JoinTree.leaf("B"))
+
+    def test_left_deep(self):
+        tree = left_deep(["A", "B", "C"])
+        assert str(tree) == "((A |><| B) |><| C)"
+
+    def test_cout_cost_sums_intermediates(self):
+        graph = _triangle()
+        tree = left_deep(["A", "B", "C"])
+        expected = graph.set_cardinality({"A", "B"}) + \
+            graph.set_cardinality({"A", "B", "C"})
+        assert cout_cost(tree, graph) == pytest.approx(expected)
+
+
+class TestExhaustiveEnumeration:
+    def test_q5_chain_has_1344_join_orders(self):
+        """The paper's Section 5.5 count."""
+        graph = q5_join_graph(10.0)
+        assert count_join_trees(graph, ordered=True) == 1344
+
+    def test_q5_with_cycle_has_more_orders(self):
+        graph = q5_join_graph(10.0, include_nation_supplier_edge=True)
+        assert count_join_trees(graph, ordered=True) == 4096
+
+    def test_q3_chain_count(self):
+        # chain of 3 relations: 4 unordered shapes x orientations = 8
+        assert count_join_trees(q3_join_graph(1.0), ordered=True) == 8
+        assert count_join_trees(q3_join_graph(1.0), ordered=False) == 2
+
+    def test_enumeration_matches_count(self):
+        graph = _triangle()
+        trees = list(enumerate_join_trees(graph))
+        assert len(trees) == count_join_trees(graph)
+
+    def test_all_trees_cover_all_relations(self):
+        graph = _triangle()
+        for tree in enumerate_join_trees(graph):
+            assert tree.relations == frozenset({"A", "B", "C"})
+
+    def test_no_cross_products(self):
+        graph = _triangle()
+
+        def check(node):
+            if node.is_leaf:
+                return
+            assert graph.crossing_edges(
+                node.left.relations, node.right.relations
+            ), f"cross product in {node}"
+            check(node.left)
+            check(node.right)
+
+        for tree in enumerate_join_trees(graph):
+            check(tree)
+
+    def test_trees_are_distinct(self):
+        graph = _triangle()
+        trees = [str(t) for t in enumerate_join_trees(graph)]
+        assert len(set(trees)) == len(trees)
+
+
+class TestTopK:
+    def test_top1_is_the_global_minimum(self):
+        graph = q5_join_graph(1.0)
+        best = top_k_plans(graph, k=1)[0]
+        brute_min = min(
+            cout_cost(tree, graph) for tree in enumerate_join_trees(graph)
+        )
+        assert best.cost == pytest.approx(brute_min)
+
+    def test_top_k_is_sorted_and_correct(self):
+        graph = _triangle()
+        ranked = top_k_plans(graph, k=4)
+        costs = [r.cost for r in ranked]
+        assert costs == sorted(costs)
+        all_costs = sorted(
+            cout_cost(tree, graph) for tree in enumerate_join_trees(graph)
+        )
+        assert costs == pytest.approx(all_costs[:len(costs)])
+
+    def test_disconnected_graph_rejected(self):
+        graph = JoinGraph()
+        graph.add_relation("A", 1.0)
+        graph.add_relation("B", 1.0)
+        with pytest.raises(ValueError):
+            top_k_plans(graph, k=1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_plans(_triangle(), k=0)
+
+
+class TestTreeToPlan:
+    def test_q5_plan_shape(self):
+        graph = q5_join_graph(1.0)
+        tree = top_k_plans(graph, k=1)[0].tree
+        params = CostParameters(cpu_row_cost=1e-6, mat_byte_cost=1e-8,
+                                nodes=10)
+        plan = tree_to_plan(tree, graph, params)
+        assert len(plan.free_operators) == 5      # five joins
+        assert len(plan) == 6                     # + the aggregate
+        assert plan.sinks == [99]
+        assert plan[99].materialize and not plan[99].free
+
+    def test_leaf_leaf_join_has_two_base_inputs(self):
+        graph = _triangle()
+        tree = left_deep(["A", "B", "C"])
+        params = CostParameters(cpu_row_cost=1e-6, mat_byte_cost=1e-8)
+        plan = tree_to_plan(tree, graph, params)
+        assert plan[1].base_inputs == 2   # A |><| B reads two base tables
+        assert plan[2].base_inputs == 1   # ... |><| C reads one
+
+    def test_single_leaf_rejected(self):
+        graph = _triangle()
+        params = CostParameters(cpu_row_cost=1e-6, mat_byte_cost=1e-8)
+        with pytest.raises(ValueError):
+            tree_to_plan(JoinTree.leaf("A"), graph, params)
+
+    def test_join_work_includes_base_reads(self):
+        graph = _triangle()
+        params = CostParameters(cpu_row_cost=1.0, mat_byte_cost=0.0,
+                                nodes=1)
+        plan = tree_to_plan(left_deep(["A", "B", "C"]), graph, params)
+        # join 1 reads A (100) + B (200) + produces 200
+        assert plan[1].runtime_cost == pytest.approx(500.0)

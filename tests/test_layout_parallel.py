@@ -1,0 +1,241 @@
+"""Tests for the Section 5.1 layout and partition-parallel execution.
+
+The headline property: for the workload queries, executing the tree per
+node over the partitioned layout and merging equals the single-node
+answer -- i.e., replication + co-partitioning + RREF really make every
+join local.
+"""
+
+import pytest
+
+from repro.relational.executor import execute
+from repro.relational.expressions import Col
+from repro.relational.operators import AggregateSpec
+from repro.relational.parallel import MergeSpec, run_partitioned
+from repro.relational.schema import ColumnType
+from repro.tpch.layout import partition_database
+from repro.tpch.queries import QUERIES
+
+NODES = 4
+INT = ColumnType.INT
+FLOAT = ColumnType.FLOAT
+
+
+@pytest.fixture(scope="module")
+def partitioned(request):
+    tiny = request.getfixturevalue("tiny_tpch")
+    return tiny, partition_database(tiny, NODES)
+
+
+class TestLayoutStructure:
+    def test_dimensions_are_fully_replicated(self, partitioned):
+        tiny, pdb = partitioned
+        for name in ("region", "nation"):
+            for node in range(NODES):
+                assert pdb.tables[name].parts[node].num_rows == \
+                    tiny[name].num_rows
+
+    def test_facts_are_partitioned_disjointly(self, partitioned):
+        tiny, pdb = partitioned
+        for name, key in (("orders", "o_orderkey"),
+                          ("lineitem", "l_orderkey")):
+            seen = []
+            for part in pdb.tables[name].parts:
+                seen.extend(part.column(key))
+            assert len(seen) == tiny[name].num_rows
+
+    def test_lineitem_and_orders_are_colocated(self, partitioned):
+        _, pdb = partitioned
+        for node in range(NODES):
+            order_keys = set(
+                pdb.tables["orders"].parts[node].column("o_orderkey")
+            )
+            lineitem_orders = set(
+                pdb.tables["lineitem"].parts[node].column("l_orderkey")
+            )
+            assert lineitem_orders <= order_keys
+
+    def test_rref_provides_local_customers(self, partitioned):
+        _, pdb = partitioned
+        for node in range(NODES):
+            customers = set(
+                pdb.tables["customer"].parts[node].column("c_custkey")
+            )
+            needed = set(
+                pdb.tables["orders"].parts[node].column("o_custkey")
+            )
+            assert needed <= customers
+
+    def test_rref_provides_local_suppliers_and_parts(self, partitioned):
+        _, pdb = partitioned
+        for node in range(NODES):
+            lineitem = pdb.tables["lineitem"].parts[node]
+            assert set(lineitem.column("l_suppkey")) <= set(
+                pdb.tables["supplier"].parts[node].column("s_suppkey")
+            )
+            assert set(lineitem.column("l_partkey")) <= set(
+                pdb.tables["part"].parts[node].column("p_partkey")
+            )
+
+    def test_rref_replication_overhead_is_bounded(self, partitioned):
+        _, pdb = partitioned
+        overhead = pdb.replication_overhead()
+        assert overhead["orders"] == pytest.approx(1.0)
+        assert overhead["lineitem"] == pytest.approx(1.0)
+        # RREF replicates shared tuples, but never beyond full replication
+        for name in ("customer", "supplier", "part", "partsupp"):
+            assert 1.0 <= overhead[name] <= NODES
+
+    def test_node_view_bounds(self, partitioned):
+        _, pdb = partitioned
+        with pytest.raises(ValueError):
+            pdb.node_view(NODES)
+
+    def test_invalid_node_count(self, tiny_tpch):
+        with pytest.raises(ValueError):
+            partition_database(tiny_tpch, 0)
+
+
+class TestPartitionParallelEquivalence:
+    def _views(self, pdb):
+        return [pdb.node_view(node) for node in range(NODES)]
+
+    def test_q6_scalar_aggregate(self, partitioned):
+        tiny, pdb = partitioned
+        single = execute(QUERIES["Q6"].physical_tree(tiny))
+        merged = run_partitioned(
+            QUERIES["Q6"].physical_tree,
+            self._views(pdb),
+            MergeSpec(aggregates=(
+                AggregateSpec("revenue", "sum", Col("revenue")),
+            )),
+        )
+        assert merged.column("revenue")[0] == pytest.approx(
+            single.column("revenue")[0]
+        )
+
+    def test_q5_revenue_by_nation(self, partitioned):
+        tiny, pdb = partitioned
+        single = execute(QUERIES["Q5"].physical_tree(tiny))
+        merged = run_partitioned(
+            QUERIES["Q5"].physical_tree,
+            self._views(pdb),
+            MergeSpec(
+                group_by=("n_name",),
+                aggregates=(AggregateSpec("revenue", "sum",
+                                          Col("revenue")),),
+                sort_by=("revenue",),
+            ),
+        )
+        expected = dict(zip(single.column("n_name"),
+                            single.column("revenue")))
+        measured = dict(zip(merged.column("n_name"),
+                            merged.column("revenue")))
+        assert set(measured) == set(expected)
+        for nation, revenue in expected.items():
+            assert measured[nation] == pytest.approx(revenue)
+
+    def test_q3_top10(self, partitioned):
+        tiny, pdb = partitioned
+        single = execute(QUERIES["Q3"].physical_tree(tiny))
+        # order groups are node-local (hash on orderkey), so partials are
+        # final and only global ordering + truncation remain
+        merged = run_partitioned(
+            QUERIES["Q3"].physical_tree,
+            self._views(pdb),
+            MergeSpec(sort_by=("revenue",), limit=10),
+        )
+        assert [row[0] for row in merged.rows()] == \
+            [row[0] for row in single.rows()]
+
+    def test_q10_top20_customers(self, partitioned):
+        tiny, pdb = partitioned
+        from repro.tpch.queries import _q10_physical
+
+        single = execute(QUERIES["Q10"].physical_tree(tiny))
+        # a customer's orders span nodes: partials must stay untruncated
+        # (top_k=0) and re-aggregate before the global top-20
+        merged = run_partitioned(
+            lambda view: _q10_physical(view, top_k=0),
+            self._views(pdb),
+            MergeSpec(
+                group_by=("c_custkey", "c_name", "c_acctbal", "n_name"),
+                aggregates=(AggregateSpec("revenue", "sum",
+                                          Col("revenue")),),
+                sort_by=("revenue",),
+                limit=20,
+            ),
+        )
+        expected = {(row["c_custkey"], round(row["revenue"], 6))
+                    for row in single.to_dicts()}
+        measured = {(row["c_custkey"], round(row["revenue"], 6))
+                    for row in merged.to_dicts()}
+        assert measured == expected
+
+    def test_empty_views_rejected(self):
+        with pytest.raises(ValueError):
+            run_partitioned(lambda v: None, [], MergeSpec())
+
+
+class TestNonDistributiveMerge:
+    def test_q1_averages_recompute_from_merged_sums(self, partitioned):
+        """Q1's AVG columns are not distributive: the merge re-sums the
+        SUM/COUNT partials and recomputes the averages afterwards."""
+        from repro.relational.executor import execute as run_tree
+        from repro.relational.operators import Project, Scan
+        from repro.relational.expressions import Col
+
+        tiny, pdb = partitioned
+        single = run_tree(QUERIES["Q1"].physical_tree(tiny))
+
+        def recompute_averages(table):
+            tree = Project(
+                Scan(table),
+                [
+                    ("l_returnflag", Col("l_returnflag"),
+                     ColumnType.STRING),
+                    ("l_linestatus", Col("l_linestatus"),
+                     ColumnType.STRING),
+                    ("sum_qty", Col("sum_qty"), FLOAT),
+                    ("sum_base_price", Col("sum_base_price"), FLOAT),
+                    ("avg_qty", Col("sum_qty") / Col("count_order"),
+                     FLOAT),
+                    ("avg_price",
+                     Col("sum_base_price") / Col("count_order"), FLOAT),
+                    ("count_order", Col("count_order"), INT),
+                ],
+                output_name="q1_merged",
+            )
+            return run_tree(tree)
+
+        merged = run_partitioned(
+            QUERIES["Q1"].physical_tree,
+            [pdb.node_view(node) for node in range(NODES)],
+            MergeSpec(
+                group_by=("l_returnflag", "l_linestatus"),
+                aggregates=(
+                    AggregateSpec("sum_qty", "sum", Col("sum_qty")),
+                    AggregateSpec("sum_base_price", "sum",
+                                  Col("sum_base_price")),
+                    AggregateSpec("count_order", "sum",
+                                  Col("count_order"),
+                                  out_type=INT),
+                ),
+                post_project=recompute_averages,
+                sort_by=("l_returnflag", "l_linestatus"),
+                descending=False,
+            ),
+        )
+        single_rows = {
+            (row["l_returnflag"], row["l_linestatus"]): row
+            for row in single.to_dicts()
+        }
+        for row in merged.to_dicts():
+            reference = single_rows[(row["l_returnflag"],
+                                     row["l_linestatus"])]
+            assert row["count_order"] == reference["count_order"]
+            assert row["sum_qty"] == pytest.approx(reference["sum_qty"])
+            assert row["avg_qty"] == pytest.approx(reference["avg_qty"])
+            assert row["avg_price"] == pytest.approx(
+                reference["avg_price"]
+            )

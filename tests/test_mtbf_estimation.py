@@ -1,0 +1,108 @@
+"""Tests for MTBF estimation."""
+
+import math
+
+import pytest
+
+from repro.engine.traces import generate_trace
+from repro.stats.mtbf_estimation import (
+    MtbfTracker,
+    estimate_from_trace,
+    estimate_mtbf,
+)
+
+
+class TestPointEstimate:
+    def test_mle(self):
+        estimate = estimate_mtbf(10, observation_time=1000.0, nodes=1)
+        assert estimate.mtbf == pytest.approx(100.0)
+
+    def test_node_time_scales(self):
+        estimate = estimate_mtbf(10, observation_time=100.0, nodes=10)
+        assert estimate.mtbf == pytest.approx(100.0)
+        assert estimate.node_time == pytest.approx(1000.0)
+
+    def test_zero_failures_gives_lower_bound_only(self):
+        estimate = estimate_mtbf(0, observation_time=1000.0)
+        assert math.isinf(estimate.mtbf)
+        assert math.isinf(estimate.upper)
+        assert estimate.lower > 0
+
+    def test_interval_contains_point(self):
+        estimate = estimate_mtbf(7, observation_time=700.0)
+        assert estimate.lower < estimate.mtbf < estimate.upper
+
+    def test_interval_narrows_with_evidence(self):
+        wide = estimate_mtbf(3, observation_time=300.0)
+        narrow = estimate_mtbf(300, observation_time=30_000.0)
+        assert (narrow.upper / narrow.lower) < (wide.upper / wide.lower)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failures": -1, "observation_time": 1.0},
+        {"failures": 1, "observation_time": 0.0},
+        {"failures": 1, "observation_time": 1.0, "nodes": 0},
+        {"failures": 1, "observation_time": 1.0, "confidence": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            estimate_mtbf(**kwargs)
+
+    def test_str_is_readable(self):
+        rendering = str(estimate_mtbf(5, observation_time=500.0))
+        assert "MTBF" in rendering and "failures" in rendering
+
+
+class TestFromTrace:
+    def test_recovers_nominal_mtbf(self):
+        trace = generate_trace(10, mtbf=100.0, horizon=50_000.0, seed=2)
+        estimate = estimate_from_trace(trace)
+        assert estimate.lower < 100.0 < estimate.upper
+        assert estimate.mtbf == pytest.approx(100.0, rel=0.15)
+
+    def test_infinite_horizon_rejected(self):
+        from repro.engine.traces import FailureTrace
+
+        with pytest.raises(ValueError):
+            estimate_from_trace(FailureTrace.empty(2))
+
+
+class TestTracker:
+    def test_accumulates(self):
+        tracker = MtbfTracker()
+        tracker.observe(1000.0)
+        tracker.record_failure(10)
+        assert tracker.mtbf == pytest.approx(100.0)
+
+    def test_infinite_before_first_failure(self):
+        tracker = MtbfTracker()
+        tracker.observe(500.0)
+        assert math.isinf(tracker.mtbf)
+
+    def test_decay_follows_rate_changes(self):
+        """After a long healthy stretch, old failures fade and the
+        estimate rises."""
+        tracker = MtbfTracker(half_life=1000.0)
+        tracker.observe(1000.0)
+        tracker.record_failure(10)     # MTBF ~ 100 at this point
+        early = tracker.mtbf
+        tracker.observe(10_000.0)      # ten half-lives of calm
+        assert tracker.mtbf > early
+
+    def test_estimate_snapshot(self):
+        tracker = MtbfTracker()
+        tracker.observe(900.0)
+        tracker.record_failure(9)
+        snapshot = tracker.estimate()
+        assert snapshot.mtbf == pytest.approx(100.0)
+        assert snapshot.failures == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MtbfTracker(half_life=0.0)
+        tracker = MtbfTracker()
+        with pytest.raises(ValueError):
+            tracker.observe(-1.0)
+        with pytest.raises(ValueError):
+            tracker.record_failure(-1)
+        with pytest.raises(ValueError):
+            tracker.estimate()

@@ -1,0 +1,126 @@
+"""Tests for horizontal partitioning (hash, replication, RREF)."""
+
+import pytest
+
+from repro.relational.partitioning import (
+    PartitionedTable,
+    hash_partition,
+    replicate,
+    round_robin_partition,
+    rref_partition,
+)
+from repro.relational.schema import ColumnType, TableSchema
+from repro.relational.table import Table
+
+INT = ColumnType.INT
+
+
+def _table(name, rows):
+    schema = TableSchema.build(name, [("k", INT), ("v", INT)])
+    return Table.from_rows(schema, rows)
+
+
+@pytest.fixture
+def base():
+    return _table("base", [[i, i * 10] for i in range(20)])
+
+
+class TestHashPartition:
+    def test_partitions_are_disjoint_and_complete(self, base):
+        parts = hash_partition(base, ["k"], 4)
+        all_keys = []
+        for part in parts:
+            all_keys.extend(part.column("k"))
+        assert sorted(all_keys) == list(range(20))
+
+    def test_same_key_lands_in_same_partition(self, base):
+        doubled = base.concat_rows(base)
+        parts = hash_partition(doubled, ["k"], 4)
+        for part in parts:
+            keys = part.column("k")
+            # each key appears 0 or 2 times, never split
+            for key in set(keys):
+                assert keys.count(key) == 2
+
+    def test_deterministic_across_runs(self, base):
+        first = [p.column("k") for p in hash_partition(base, ["k"], 3)]
+        second = [p.column("k") for p in hash_partition(base, ["k"], 3)]
+        assert first == second
+
+    def test_invalid_arguments(self, base):
+        with pytest.raises(ValueError):
+            hash_partition(base, ["k"], 0)
+        with pytest.raises(ValueError):
+            hash_partition(base, [], 2)
+
+
+class TestRoundRobinAndReplicate:
+    def test_round_robin_balance(self, base):
+        parts = round_robin_partition(base, 4)
+        assert [p.num_rows for p in parts] == [5, 5, 5, 5]
+
+    def test_replicate_copies_everything(self, base):
+        parts = replicate(base, 3)
+        assert len(parts) == 3
+        assert all(p.num_rows == 20 for p in parts)
+
+    def test_invalid_partition_counts(self, base):
+        with pytest.raises(ValueError):
+            round_robin_partition(base, 0)
+        with pytest.raises(ValueError):
+            replicate(base, 0)
+
+
+class TestRref:
+    def test_referenced_rows_follow_referencing_partitions(self):
+        customers = _table("customer", [[i, 0] for i in range(10)])
+        orders = _table("orders", [[i % 10, i] for i in range(40)])
+        order_parts = hash_partition(orders, ["v"], 4)
+        customer_parts = rref_partition(
+            customers, ["k"], order_parts, ["k"]
+        )
+        # co-location: every order's customer is in the same partition
+        for order_part, customer_part in zip(order_parts, customer_parts):
+            customer_keys = set(customer_part.column("k"))
+            for order_customer in order_part.column("k"):
+                assert order_customer in customer_keys
+
+    def test_rref_replicates_shared_tuples(self):
+        referenced = _table("ref", [[1, 0]])
+        part_a = _table("r", [[1, 10]])
+        part_b = _table("r", [[1, 20]])
+        parts = rref_partition(referenced, ["k"], [part_a, part_b], ["k"])
+        assert all(p.num_rows == 1 for p in parts)  # replicated to both
+
+    def test_key_length_mismatch_rejected(self):
+        referenced = _table("ref", [[1, 0]])
+        with pytest.raises(ValueError):
+            rref_partition(referenced, ["k"], [referenced], ["k", "v"])
+
+
+class TestPartitionedTable:
+    def test_replication_factor(self):
+        referenced = _table("ref", [[1, 0], [2, 0]])
+        parts = (referenced, referenced)
+        table = PartitionedTable(
+            name="ref", parts=parts, scheme="rref", logical_rows=2
+        )
+        assert table.stored_rows == 4
+        assert table.replication_factor == 2.0
+
+    def test_gather_replicated(self):
+        base_table = _table("t", [[1, 0]])
+        table = PartitionedTable(
+            name="t", parts=(base_table, base_table), scheme="replicated",
+            logical_rows=1,
+        )
+        assert table.gather().num_rows == 1
+
+    def test_gather_hash(self, base):
+        parts = tuple(hash_partition(base, ["k"], 3))
+        table = PartitionedTable(
+            name="base", parts=parts, scheme="hash", keys=("k",),
+            logical_rows=20,
+        )
+        assert sorted(table.gather().column("k")) == list(range(20))
+        assert table.replication_factor == 1.0

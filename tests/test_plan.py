@@ -1,0 +1,184 @@
+"""Unit tests for DAG plans and operators."""
+
+import pytest
+
+from repro.core.plan import Operator, Plan, PlanError, linear_plan
+
+
+class TestOperator:
+    def test_total_cost_without_materialization(self):
+        op = Operator(1, "a", 10.0, 5.0, materialize=False)
+        assert op.total_cost == 10.0
+
+    def test_total_cost_with_materialization(self):
+        op = Operator(1, "a", 10.0, 5.0, materialize=True)
+        assert op.total_cost == 15.0
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(PlanError):
+            Operator(1, "a", -1.0, 0.0)
+
+    def test_negative_mat_cost_rejected(self):
+        with pytest.raises(PlanError):
+            Operator(1, "a", 1.0, -0.5)
+
+    def test_negative_base_inputs_rejected(self):
+        with pytest.raises(PlanError):
+            Operator(1, "a", 1.0, 0.0, base_inputs=-1)
+
+    def test_as_bound_freezes_flag(self):
+        op = Operator(1, "a", 1.0, 1.0).as_bound(materialize=True)
+        assert op.materialize and not op.free
+
+    def test_with_materialize_on_free_operator(self):
+        op = Operator(1, "a", 1.0, 1.0, free=True)
+        assert op.with_materialize(True).materialize
+
+    def test_with_materialize_on_bound_operator_rejected(self):
+        op = Operator(1, "a", 1.0, 1.0, free=False, materialize=False)
+        with pytest.raises(PlanError):
+            op.with_materialize(True)
+
+    def test_with_materialize_noop_on_bound_operator_allowed(self):
+        op = Operator(1, "a", 1.0, 1.0, free=False, materialize=True)
+        assert op.with_materialize(True).materialize
+
+
+class TestPlanConstruction:
+    def test_duplicate_operator_rejected(self):
+        plan = Plan()
+        plan.add_operator(Operator(1, "a", 1.0, 1.0))
+        with pytest.raises(PlanError):
+            plan.add_operator(Operator(1, "b", 1.0, 1.0))
+
+    def test_edge_to_unknown_operator_rejected(self):
+        plan = Plan()
+        plan.add_operator(Operator(1, "a", 1.0, 1.0))
+        with pytest.raises(PlanError):
+            plan.add_edge(1, 2)
+
+    def test_self_edge_rejected(self):
+        plan = Plan()
+        plan.add_operator(Operator(1, "a", 1.0, 1.0))
+        with pytest.raises(PlanError):
+            plan.add_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self):
+        plan = linear_plan([(1, 1), (1, 1)])
+        with pytest.raises(PlanError):
+            plan.add_edge(1, 2)
+
+    def test_cycle_rejected_and_rolled_back(self):
+        plan = linear_plan([(1, 1), (1, 1), (1, 1)])
+        with pytest.raises(PlanError):
+            plan.add_edge(3, 1)
+        # the offending edge was rolled back; the plan stays valid
+        plan.validate()
+
+    def test_from_edges(self, paper_plan):
+        assert len(paper_plan) == 7
+        assert set(paper_plan.edges()) == {
+            (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (5, 7)
+        }
+
+    def test_empty_plan_fails_validation(self):
+        with pytest.raises(PlanError):
+            Plan().validate()
+
+
+class TestPlanStructure:
+    def test_sources_and_sinks(self, paper_plan):
+        assert sorted(paper_plan.sources) == [1, 2]
+        assert sorted(paper_plan.sinks) == [6, 7]
+
+    def test_consumers_and_producers(self, paper_plan):
+        assert paper_plan.consumers(5) == [6, 7]
+        assert paper_plan.producers(3) == [1, 2]
+
+    def test_topological_order_is_valid(self, paper_plan):
+        order = paper_plan.topological_order()
+        position = {op_id: i for i, op_id in enumerate(order)}
+        for producer, consumer in paper_plan.edges():
+            assert position[producer] < position[consumer]
+
+    def test_topological_order_is_deterministic(self, paper_plan):
+        assert paper_plan.topological_order() == \
+            paper_plan.topological_order()
+
+    def test_ancestors(self, paper_plan):
+        assert paper_plan.ancestors(5) == [1, 2, 3, 4]
+        assert paper_plan.ancestors(1) == []
+
+    def test_descendants(self, paper_plan):
+        assert paper_plan.descendants(3) == [4, 5, 6, 7]
+        assert paper_plan.descendants(6) == []
+
+    def test_free_operators(self, paper_plan):
+        assert paper_plan.free_operators == [1, 2, 3, 4, 5]
+
+    def test_contains_and_getitem(self, paper_plan):
+        assert 3 in paper_plan
+        assert 99 not in paper_plan
+        assert paper_plan[3].name == "HashJoin"
+
+    def test_arity_counts_base_inputs(self):
+        plan = Plan()
+        plan.add_operator(Operator(1, "scan-join", 1.0, 1.0, base_inputs=2))
+        plan.add_operator(Operator(2, "join", 1.0, 1.0, base_inputs=1))
+        plan.add_edge(1, 2)
+        assert plan.arity(1) == 2
+        assert plan.arity(2) == 2
+
+
+class TestMatConfig:
+    def test_with_mat_config_applies_flags(self, chain_plan):
+        configured = chain_plan.with_mat_config({1: True, 2: False, 3: True})
+        assert configured[1].materialize
+        assert not configured[2].materialize
+        assert configured[3].materialize
+        # the original plan is untouched
+        assert not chain_plan[1].materialize
+
+    def test_with_mat_config_rejects_unknown_ids(self, chain_plan):
+        with pytest.raises(PlanError):
+            chain_plan.with_mat_config({42: True})
+
+    def test_with_mat_config_rejects_bound_flip(self, chain_plan):
+        with pytest.raises(PlanError):
+            chain_plan.with_mat_config({4: False})  # bound sink
+
+    def test_mat_config_roundtrip(self, chain_plan):
+        configured = chain_plan.with_mat_config({1: True, 2: True, 3: False})
+        config = configured.mat_config()
+        assert config[1] and config[2] and not config[3] and config[4]
+
+    def test_with_mat_config_preserves_edges(self, paper_plan):
+        configured = paper_plan.with_mat_config({4: True})
+        assert set(configured.edges()) == set(paper_plan.edges())
+
+
+class TestAggregateCosts:
+    def test_total_runtime_cost(self, chain_plan):
+        assert chain_plan.total_runtime_cost == pytest.approx(36.0)
+
+    def test_total_mat_cost_counts_materializing_only(self, chain_plan):
+        assert chain_plan.total_mat_cost == pytest.approx(0.5)  # bound sink
+        configured = chain_plan.with_mat_config({2: True})
+        assert configured.total_mat_cost == pytest.approx(4.5)
+
+
+class TestHelpers:
+    def test_linear_plan_shape(self):
+        plan = linear_plan([(1, 1), (2, 2), (3, 3)])
+        assert plan.sources == [1]
+        assert plan.sinks == [3]
+        assert list(plan.edges()) == [(1, 2), (2, 3)]
+
+    def test_linear_plan_with_names(self):
+        plan = linear_plan([(1, 1)], names=["only"])
+        assert plan[1].name == "only"
+
+    def test_pretty_contains_all_operators(self, paper_plan):
+        rendering = paper_plan.pretty()
+        for op_id in paper_plan.operators:
+            assert f"[{op_id}]" in rendering

@@ -1,0 +1,134 @@
+"""Property-based tests for collapse and path enumeration on random DAGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collapse import collapse_plan
+from repro.core.paths import count_paths, enumerate_paths, path_ids
+from repro.core.plan import Operator, Plan
+
+
+@st.composite
+def random_plans(draw):
+    """Random layered DAGs with random materialization flags.
+
+    Operators are numbered 1..n; edges only go from lower to higher ids,
+    and every non-source operator has at least one producer, so the DAG
+    is connected enough to be a plausible plan.
+    """
+    size = draw(st.integers(min_value=2, max_value=10))
+    plan = Plan()
+    for op_id in range(1, size + 1):
+        plan.add_operator(Operator(
+            op_id=op_id,
+            name=f"op{op_id}",
+            runtime_cost=draw(st.floats(min_value=0.0, max_value=100.0)),
+            mat_cost=draw(st.floats(min_value=0.0, max_value=100.0)),
+            materialize=draw(st.booleans()),
+            free=False,
+        ))
+    for consumer in range(2, size + 1):
+        max_producers = min(2, consumer - 1)
+        producer_count = draw(st.integers(min_value=1,
+                                          max_value=max_producers))
+        producers = draw(st.lists(
+            st.integers(min_value=1, max_value=consumer - 1),
+            min_size=producer_count, max_size=producer_count, unique=True,
+        ))
+        for producer in producers:
+            plan.add_edge(producer, consumer)
+    return plan
+
+
+class TestCollapseInvariants:
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_groups_cover_all_operators(self, plan):
+        collapsed = collapse_plan(plan)
+        covered = set()
+        for group in collapsed:
+            covered |= set(group.members)
+        assert covered == set(plan.operators)
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_anchors_are_materialized_or_sinks(self, plan):
+        collapsed = collapse_plan(plan)
+        sinks = set(plan.sinks)
+        for group in collapsed:
+            anchor = plan[group.anchor_id]
+            assert anchor.materialize or group.anchor_id in sinks
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_group_members_reach_anchor_without_crossing_boundaries(
+            self, plan):
+        collapsed = collapse_plan(plan)
+        for group in collapsed:
+            for member in group.members:
+                if member == group.anchor_id:
+                    continue
+                # a member never materializes (else it would anchor its
+                # own group and not be collapsed into this one)
+                assert not plan[member].materialize
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_dominant_path_lies_inside_the_group(self, plan):
+        collapsed = collapse_plan(plan)
+        for group in collapsed:
+            assert set(group.dominant_path) <= set(group.members)
+            assert group.dominant_path[-1] == group.anchor_id
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_runtime_cost_at_most_member_sum(self, plan):
+        collapsed = collapse_plan(plan)
+        for group in collapsed:
+            member_sum = sum(
+                plan[m].runtime_cost for m in group.members
+            )
+            assert group.runtime_cost <= member_sum + 1e-9
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_collapsed_plan_is_acyclic(self, plan):
+        collapsed = collapse_plan(plan)
+        order = collapsed.topological_order()
+        assert len(order) == len(collapsed)
+
+
+class TestPathInvariants:
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_enumeration(self, plan):
+        collapsed = collapse_plan(plan)
+        assert count_paths(collapsed) == \
+            len(list(enumerate_paths(collapsed)))
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_paths_start_at_sources_and_end_at_sinks(self, plan):
+        collapsed = collapse_plan(plan)
+        sources = set(collapsed.sources)
+        sinks = set(collapsed.sinks)
+        for path in enumerate_paths(collapsed):
+            ids = path_ids(path)
+            assert ids[0] in sources
+            assert ids[-1] in sinks
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_consecutive_path_steps_are_edges(self, plan):
+        collapsed = collapse_plan(plan)
+        for path in enumerate_paths(collapsed):
+            ids = path_ids(path)
+            for producer, consumer in zip(ids, ids[1:]):
+                assert consumer in collapsed.consumers(producer)
+
+    @given(plan=random_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_paths_are_unique(self, plan):
+        collapsed = collapse_plan(plan)
+        ids = [path_ids(p) for p in enumerate_paths(collapsed)]
+        assert len(set(ids)) == len(ids)

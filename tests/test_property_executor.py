@@ -1,0 +1,139 @@
+"""Property-based tests for the simulated engine's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import Operator, Plan
+from repro.core.strategies import (
+    AllMat,
+    NoMatLineage,
+    NoMatRestart,
+)
+from repro.engine.cluster import Cluster
+from repro.engine.executor import SimulatedEngine
+from repro.engine.traces import FailureTrace, generate_trace
+
+cost_values = st.floats(min_value=0.1, max_value=50.0)
+
+
+@st.composite
+def small_plans(draw):
+    length = draw(st.integers(min_value=1, max_value=5))
+    plan = Plan()
+    for op_id in range(1, length + 1):
+        plan.add_operator(Operator(
+            op_id=op_id, name=f"op{op_id}",
+            runtime_cost=draw(cost_values),
+            mat_cost=draw(cost_values),
+            materialize=op_id == length,
+            free=op_id != length,
+        ))
+        if op_id > 1:
+            plan.add_edge(op_id - 1, op_id)
+    return plan
+
+
+def _configure(plan, scheme, nodes):
+    cluster = Cluster(nodes=nodes, mttr=1.0)
+    return scheme.configure(plan, cluster.stats(1000.0)), cluster
+
+
+class TestExecutorInvariants:
+    @given(plan=small_plans(),
+           scheme=st.sampled_from([AllMat(), NoMatLineage(),
+                                   NoMatRestart()]),
+           nodes=st.integers(min_value=1, max_value=5),
+           seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_failures_never_speed_things_up(self, plan, scheme, nodes,
+                                            seed):
+        configured, cluster = _configure(plan, scheme, nodes)
+        engine = SimulatedEngine(cluster)
+        baseline = engine.execute(configured).runtime
+        trace = generate_trace(nodes, mtbf=80.0, horizon=1e6, seed=seed)
+        failed = engine.execute(configured, trace)
+        if failed.finished:
+            assert failed.runtime >= baseline - 1e-9
+
+    @given(plan=small_plans(),
+           nodes=st.integers(min_value=1, max_value=4),
+           seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_determinism(self, plan, nodes, seed):
+        configured, cluster = _configure(plan, NoMatLineage(), nodes)
+        engine = SimulatedEngine(cluster)
+        trace = generate_trace(nodes, mtbf=50.0, horizon=1e6, seed=seed)
+        first = engine.execute(configured, trace)
+        second = engine.execute(configured, trace)
+        assert first.runtime == second.runtime
+        assert first.share_restarts == second.share_restarts
+
+    @given(plan=small_plans(),
+           nodes=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_empty_trace_matches_none(self, plan, nodes):
+        configured, cluster = _configure(plan, AllMat(), nodes)
+        engine = SimulatedEngine(cluster)
+        assert engine.execute(configured).runtime == pytest.approx(
+            engine.execute(configured, FailureTrace.empty(nodes)).runtime
+        )
+
+    @given(plan=small_plans(),
+           seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_all_mat_never_loses_more_than_one_group_per_failure(
+            self, plan, seed):
+        """With everything materialized, runtime under failures is
+        bounded by the failure-free runtime plus, per failure, the
+        largest single group's cost plus the repair time."""
+        configured, cluster = _configure(plan, AllMat(), 1)
+        engine = SimulatedEngine(cluster)
+        baseline = engine.execute(configured).runtime
+        trace = generate_trace(1, mtbf=100.0, horizon=1e7, seed=seed)
+        result = engine.execute(configured, trace)
+        biggest_group = max(
+            op.runtime_cost + op.mat_cost
+            for op in configured.plan.operators.values()
+        )
+        bound = baseline + result.failures_hit * (
+            biggest_group + cluster.mttr
+        )
+        assert result.runtime <= bound + 1e-6
+
+    @given(plan=small_plans(),
+           seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_lineage_recovery_bounded_by_full_reruns(self, plan, seed):
+        """Under lineage (one recovery unit), each failure costs at most
+        one full failure-free pass plus the repair time."""
+        lineage, cluster = _configure(plan, NoMatLineage(), 1)
+        engine = SimulatedEngine(cluster)
+        baseline = engine.execute(lineage).runtime
+        trace = generate_trace(1, mtbf=60.0, horizon=1e7, seed=seed)
+        result = engine.execute(lineage, trace)
+        bound = baseline + result.failures_hit * (baseline + cluster.mttr)
+        assert result.runtime <= bound + 1e-6
+
+
+class TestAdaptiveInvariants:
+    @given(plan=small_plans(),
+           seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_adaptive_equals_static_under_perfect_statistics(self, plan,
+                                                             seed):
+        """With exact estimates the adaptive runner's corrections stay at
+        1.0 and every re-optimization reproduces the static decision, so
+        the runtimes coincide exactly."""
+        from repro.core.strategies import CostBased
+        from repro.engine.adaptive import AdaptiveExecutor
+
+        cluster = Cluster(nodes=2, mttr=1.0)
+        stats = cluster.stats(80.0)
+        engine = SimulatedEngine(cluster)
+        trace = generate_trace(2, mtbf=80.0, horizon=1e7, seed=seed)
+        static = engine.execute(CostBased().configure(plan, stats), trace)
+        adaptive = AdaptiveExecutor(engine, stats).execute(plan,
+                                                           trace=trace)
+        assert adaptive.runtime == pytest.approx(static.runtime)
+        assert adaptive.final_correction == pytest.approx(1.0)

@@ -1,0 +1,104 @@
+"""Property-based tests for failure traces and checkpoint chunking."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpointing import CheckpointSpec, checkpointed_runtime
+from repro.core.cost_model import ClusterStats, operator_runtime
+from repro.engine.traces import extend_trace, generate_trace
+
+seeds = st.integers(min_value=0, max_value=200)
+mtbfs = st.floats(min_value=1.0, max_value=1e5)
+nodes = st.integers(min_value=1, max_value=6)
+
+
+class TestTraceProperties:
+    @given(seed=seeds, mtbf=mtbfs, node_count=nodes)
+    @settings(max_examples=40, deadline=None)
+    def test_failures_sorted_and_within_horizon(self, seed, mtbf,
+                                                node_count):
+        trace = generate_trace(node_count, mtbf, horizon=mtbf * 20,
+                               seed=seed)
+        for failures in trace.node_failures:
+            assert list(failures) == sorted(failures)
+            assert all(0 < f <= trace.horizon for f in failures)
+
+    @given(seed=seeds, mtbf=mtbfs, node_count=nodes)
+    @settings(max_examples=30, deadline=None)
+    def test_extension_preserves_prefix(self, seed, mtbf, node_count):
+        short = generate_trace(node_count, mtbf, horizon=mtbf * 5,
+                               seed=seed)
+        long = extend_trace(short, mtbf * 15)
+        for node in range(node_count):
+            prefix = tuple(
+                f for f in long.failures_of(node) if f <= short.horizon
+            )
+            assert prefix == short.failures_of(node)
+
+    @given(seed=seeds,
+           offset_a=st.floats(min_value=0.0, max_value=100.0),
+           offset_b=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_composes(self, seed, offset_a, offset_b):
+        """shift(a) then shift(b) equals shift(a + b)."""
+        trace = generate_trace(3, 20.0, horizon=1_000.0, seed=seed)
+        twice = trace.shifted(offset_a).shifted(offset_b)
+        once = trace.shifted(offset_a + offset_b)
+        for a, b in zip(twice.node_failures, once.node_failures):
+            assert len(a) == len(b)
+            assert all(math.isclose(x, y, abs_tol=1e-9)
+                       for x, y in zip(a, b))
+
+    @given(seed=seeds, offset=st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_preserves_future_failure_count(self, seed, offset):
+        trace = generate_trace(2, 50.0, horizon=1_000.0, seed=seed)
+        shifted = trace.shifted(offset)
+        expected = sum(
+            1 for failures in trace.node_failures
+            for f in failures if f > offset
+        )
+        assert sum(len(f) for f in shifted.node_failures) == expected
+
+
+class TestChunkingProperties:
+    @given(
+        total=st.floats(min_value=0.0, max_value=1e4),
+        interval=st.floats(min_value=0.1, max_value=1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chunks_partition_the_work(self, total, interval):
+        spec = CheckpointSpec(interval=interval, snapshot_cost=1.0,
+                              estimated_runtime=0.0)
+        chunks = spec.chunks_for(total)
+        assert sum(chunks) == pytest.approx(total, abs=1e-6)
+        assert all(0 <= chunk <= interval + 1e-9 for chunk in chunks)
+
+    @given(
+        total=st.floats(min_value=1.0, max_value=1e4),
+        snapshot=st.floats(min_value=0.1, max_value=50.0),
+        mtbf=st.floats(min_value=10.0, max_value=1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_checkpointed_runtime_at_least_the_work(self, total, snapshot,
+                                                    mtbf):
+        stats = ClusterStats(mtbf=mtbf, mttr=1.0)
+        runtime, _ = checkpointed_runtime(total, snapshot, stats)
+        assert runtime >= total - 1e-9
+
+    @given(
+        total=st.floats(min_value=500.0, max_value=5e3),
+        snapshot=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_checkpointing_helps_when_mtbf_below_operator(self, total,
+                                                          snapshot):
+        """When the operator is several MTBFs long, chunking always
+        beats the plain model (which explodes exponentially)."""
+        stats = ClusterStats(mtbf=total / 4.0, mttr=1.0)
+        plain = operator_runtime(total, stats)
+        chunked, _ = checkpointed_runtime(total, snapshot, stats)
+        assert chunked < plain

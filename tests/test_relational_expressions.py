@@ -1,0 +1,127 @@
+"""Tests for the expression language."""
+
+import pytest
+
+from repro.relational.expressions import (
+    Col,
+    Func,
+    Literal,
+    contains,
+    starts_with,
+    wrap,
+)
+from repro.relational.schema import ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema.build("t", [
+        ("a", ColumnType.INT),
+        ("b", ColumnType.FLOAT),
+        ("s", ColumnType.STRING),
+    ])
+    return Table.from_rows(schema, [
+        [1, 2.0, "apple"],
+        [4, 0.5, "banana"],
+        [7, 3.0, "cherry"],
+    ])
+
+
+class TestBasics:
+    def test_column_reference(self, table):
+        assert Col("a").evaluate(table) == [1, 4, 7]
+
+    def test_literal_broadcasts(self, table):
+        assert Literal(9).evaluate(table) == [9, 9, 9]
+
+    def test_wrap_passthrough_and_coercion(self):
+        col = Col("a")
+        assert wrap(col) is col
+        assert isinstance(wrap(5), Literal)
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self, table):
+        assert (Col("a") + 1).evaluate(table) == [2, 5, 8]
+        assert (Col("a") - Col("a")).evaluate(table) == [0, 0, 0]
+        assert (Col("a") * Col("b")).evaluate(table) == [2.0, 2.0, 21.0]
+        assert (Col("b") / 2).evaluate(table) == [1.0, 0.25, 1.5]
+
+
+class TestComparisons:
+    def test_relational_operators(self, table):
+        assert (Col("a") > 3).evaluate(table) == [False, True, True]
+        assert (Col("a") >= 4).evaluate(table) == [False, True, True]
+        assert (Col("a") < 4).evaluate(table) == [True, False, False]
+        assert (Col("a") <= 1).evaluate(table) == [True, False, False]
+        assert (Col("a") == 4).evaluate(table) == [False, True, False]
+        assert (Col("a") != 4).evaluate(table) == [True, False, True]
+
+    def test_between(self, table):
+        assert Col("a").between(2, 7).evaluate(table) == [False, True, True]
+
+    def test_is_in(self, table):
+        assert Col("a").is_in([1, 7]).evaluate(table) == [True, False, True]
+
+
+class TestBoolean:
+    def test_and_or_not(self, table):
+        both = (Col("a") > 1) & (Col("b") > 1)
+        assert both.evaluate(table) == [False, False, True]
+        either = (Col("a") > 5) | (Col("b") > 1.5)
+        assert either.evaluate(table) == [True, False, True]
+        negated = ~(Col("a") > 3)
+        assert negated.evaluate(table) == [True, False, False]
+
+
+class TestFunctions:
+    def test_custom_function(self, table):
+        doubled = Func("double", lambda v: v * 2, Col("a"))
+        assert doubled.evaluate(table) == [2, 8, 14]
+
+    def test_multi_arg_function(self, table):
+        summed = Func("plus", lambda x, y: x + y, Col("a"), Col("b"))
+        assert summed.evaluate(table) == [3.0, 4.5, 10.0]
+
+    def test_starts_with(self, table):
+        assert starts_with(Col("s"), "ba").evaluate(table) == \
+            [False, True, False]
+
+    def test_contains(self, table):
+        assert contains(Col("s"), "err").evaluate(table) == \
+            [False, False, True]
+
+
+class TestRepr:
+    def test_reprs_are_readable(self):
+        expr = (Col("a") + 1) > Col("b")
+        rendering = repr(expr)
+        assert "Col(a)" in rendering and ">" in rendering
+
+
+class TestNullHandling:
+    def test_is_null_and_is_not_null(self):
+        from repro.relational.expressions import is_not_null, is_null
+
+        schema = TableSchema.build("t", [("x", ColumnType.INT)])
+        table = Table(schema=schema, columns=[[1, None, 3]])
+        assert is_null(Col("x")).evaluate(table) == [False, True, False]
+        assert is_not_null(Col("x")).evaluate(table) == \
+            [True, False, True]
+
+    def test_coalesce_picks_first_non_null(self):
+        from repro.relational.expressions import coalesce
+
+        schema = TableSchema.build("t", [("a", ColumnType.INT),
+                                         ("b", ColumnType.INT)])
+        table = Table(schema=schema, columns=[[None, 2, None],
+                                              [10, 20, None]])
+        assert coalesce(Col("a"), Col("b"), 0).evaluate(table) == \
+            [10, 2, 0]
+
+    def test_coalesce_requires_arguments(self):
+        from repro.relational.expressions import coalesce
+
+        with pytest.raises(ValueError):
+            coalesce()

@@ -1,0 +1,295 @@
+"""Tests for the physical relational operators."""
+
+import pytest
+
+from repro.relational.expressions import Col
+from repro.relational.operators import (
+    AggregateSpec,
+    CteBuffer,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    Project,
+    Repartition,
+    Scan,
+    Sort,
+    UnionAll,
+)
+from repro.relational.executor import execute, profile
+from repro.relational.schema import ColumnType, TableSchema
+from repro.relational.table import Table
+
+INT = ColumnType.INT
+STRING = ColumnType.STRING
+FLOAT = ColumnType.FLOAT
+
+
+@pytest.fixture
+def orders():
+    schema = TableSchema.build("orders", [
+        ("okey", INT), ("ckey", INT), ("total", FLOAT),
+    ])
+    return Table.from_rows(schema, [
+        [1, 10, 100.0],
+        [2, 20, 250.0],
+        [3, 10, 50.0],
+        [4, 30, 75.0],
+    ])
+
+
+@pytest.fixture
+def customers():
+    schema = TableSchema.build("customers", [
+        ("key", INT), ("cname", STRING),
+    ])
+    return Table.from_rows(schema, [
+        [10, "ada"], [20, "bob"], [40, "dee"],
+    ])
+
+
+class TestScanFilterProject:
+    def test_scan_returns_table(self, orders):
+        assert execute(Scan(orders)).num_rows == 4
+
+    def test_filter(self, orders):
+        result = execute(Filter(Scan(orders), Col("total") > 90))
+        assert result.column("okey") == [1, 2]
+
+    def test_project_with_derived_column(self, orders):
+        result = execute(Project(
+            Scan(orders),
+            [("okey", Col("okey"), INT),
+             ("double_total", Col("total") * 2, FLOAT)],
+        ))
+        assert result.column("double_total") == [200.0, 500.0, 100.0, 150.0]
+
+
+class TestHashJoin:
+    def test_inner_join(self, orders, customers):
+        result = execute(HashJoin(
+            Scan(customers), Scan(orders), ["key"], ["ckey"]
+        ))
+        pairs = set(zip(result.column("cname"), result.column("okey")))
+        assert pairs == {("ada", 1), ("ada", 3), ("bob", 2)}
+
+    def test_unmatched_rows_are_dropped(self, orders, customers):
+        result = execute(HashJoin(
+            Scan(customers), Scan(orders), ["key"], ["ckey"]
+        ))
+        assert "dee" not in result.column("cname")
+        assert 4 not in result.column("okey")
+
+    def test_multi_key_join(self):
+        schema_a = TableSchema.build("a", [("x", INT), ("y", INT)])
+        schema_b = TableSchema.build("b", [("p", INT), ("q", INT)])
+        a = Table.from_rows(schema_a, [[1, 1], [1, 2], [2, 1]])
+        b = Table.from_rows(schema_b, [[1, 1], [2, 1]])
+        result = execute(HashJoin(Scan(a), Scan(b), ["x", "y"], ["p", "q"]))
+        assert result.num_rows == 2
+
+    def test_mismatched_keys_rejected(self, orders, customers):
+        with pytest.raises(ValueError):
+            HashJoin(Scan(customers), Scan(orders), ["key"], [])
+
+
+class TestHashAggregate:
+    def test_group_by_with_aggregates(self, orders):
+        result = execute(HashAggregate(
+            Scan(orders),
+            group_by=["ckey"],
+            aggregates=[
+                AggregateSpec("total_sum", "sum", Col("total")),
+                AggregateSpec("n", "count", Col("total"), out_type=INT),
+                AggregateSpec("avg_total", "avg", Col("total")),
+                AggregateSpec("max_total", "max", Col("total")),
+                AggregateSpec("min_total", "min", Col("total")),
+            ],
+        ))
+        rows = {row[0]: row[1:] for row in result.rows()}
+        assert rows[10] == (150.0, 2, 75.0, 100.0, 50.0)
+        assert rows[20] == (250.0, 1, 250.0, 250.0, 250.0)
+
+    def test_scalar_aggregate(self, orders):
+        result = execute(HashAggregate(
+            Scan(orders), group_by=[],
+            aggregates=[AggregateSpec("s", "sum", Col("total"))],
+        ))
+        assert result.num_rows == 1
+        assert result.column("s") == [475.0]
+
+    def test_scalar_aggregate_over_empty_input(self, orders):
+        result = execute(HashAggregate(
+            Filter(Scan(orders), Col("total") > 1e9), group_by=[],
+            aggregates=[AggregateSpec("n", "count", Col("total"),
+                                      out_type=INT)],
+        ))
+        assert result.column("n") == [0]
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("x", "median", Col("a"))
+
+    def test_group_output_is_deterministic(self, orders):
+        first = execute(HashAggregate(
+            Scan(orders), ["ckey"],
+            [AggregateSpec("s", "sum", Col("total"))],
+        ))
+        second = execute(HashAggregate(
+            Scan(orders), ["ckey"],
+            [AggregateSpec("s", "sum", Col("total"))],
+        ))
+        assert list(first.rows()) == list(second.rows())
+
+
+class TestSortLimitUnion:
+    def test_sort_descending(self, orders):
+        result = execute(Sort(Scan(orders), ["total"], descending=True))
+        assert result.column("total") == [250.0, 100.0, 75.0, 50.0]
+
+    def test_limit(self, orders):
+        result = execute(Limit(Sort(Scan(orders), ["total"]), 2))
+        assert result.column("total") == [50.0, 75.0]
+
+    def test_union_all(self, orders):
+        result = execute(UnionAll(Scan(orders), Scan(orders)))
+        assert result.num_rows == 8
+
+    def test_union_requires_two_inputs(self, orders):
+        with pytest.raises(ValueError):
+            UnionAll(Scan(orders))
+
+
+class TestRepartition:
+    def test_repartition_preserves_rows(self, orders):
+        result = execute(Repartition(Scan(orders), ["ckey"], 3))
+        assert sorted(result.column("okey")) == [1, 2, 3, 4]
+
+    def test_invalid_partition_count(self, orders):
+        with pytest.raises(ValueError):
+            Repartition(Scan(orders), ["ckey"], 0)
+
+
+class TestCteBuffer:
+    def test_cte_executes_once_for_two_consumers(self, orders):
+        buffer = CteBuffer(Scan(orders), cte_name="o")
+        tree = UnionAll(
+            Filter(buffer, Col("total") > 90),
+            Filter(buffer, Col("total") <= 90),
+        )
+        result, profiles = profile(tree)
+        assert result.num_rows == 4
+        cte_profiles = [p for p in profiles.values()
+                        if p.description == "CteBuffer(o)"]
+        assert len(cte_profiles) == 1
+        assert cte_profiles[0].executions == 1
+
+    def test_execute_resets_cte_buffers(self, orders):
+        buffer = CteBuffer(Scan(orders), cte_name="o")
+        execute(buffer)
+        execute(buffer)
+        assert buffer.executions == 2  # re-ran after invalidation
+
+
+class TestProfiling:
+    def test_profile_measures_outputs(self, orders):
+        tree = Filter(Scan(orders), Col("total") > 90)
+        _, profiles = profile(tree)
+        by_desc = {p.description: p for p in profiles.values()}
+        assert by_desc["Scan(orders)"].output_rows == 4
+        filter_profile = next(p for d, p in by_desc.items()
+                              if d.startswith("Filter"))
+        assert filter_profile.output_rows == 2
+        assert filter_profile.output_bytes > 0
+
+    def test_pretty_prints_tree(self, orders):
+        tree = Limit(Sort(Scan(orders), ["total"]), 2)
+        rendering = tree.pretty()
+        assert "Limit(2)" in rendering and "Scan(orders)" in rendering
+
+
+class TestLeftOuterJoin:
+    def test_unmatched_left_rows_are_padded(self, orders, customers):
+        from repro.relational.operators import HashJoin as HJ
+
+        result = execute(HJ(
+            Scan(customers), Scan(orders), ["key"], ["ckey"],
+            join_type="left",
+        ))
+        by_name = {}
+        for row in result.to_dicts():
+            by_name.setdefault(row["cname"], []).append(row["okey"])
+        assert by_name["dee"] == [None]           # no orders: padded
+        assert sorted(by_name["ada"]) == [1, 3]
+
+    def test_inner_join_unaffected(self, orders, customers):
+        inner = execute(HashJoin(
+            Scan(customers), Scan(orders), ["key"], ["ckey"],
+        ))
+        assert None not in inner.column("okey")
+
+    def test_invalid_join_type(self, orders, customers):
+        with pytest.raises(ValueError):
+            HashJoin(Scan(customers), Scan(orders), ["key"], ["ckey"],
+                     join_type="full")
+
+
+class TestNullAwareAggregates:
+    def test_count_skips_nulls(self, orders, customers):
+        joined = HashJoin(Scan(customers), Scan(orders),
+                          ["key"], ["ckey"], join_type="left")
+        counted = execute(HashAggregate(
+            joined, group_by=["cname"],
+            aggregates=[AggregateSpec("n", "count", Col("okey"),
+                                      out_type=INT)],
+        ))
+        counts = dict(zip(counted.column("cname"), counted.column("n")))
+        assert counts == {"ada": 2, "bob": 1, "dee": 0}
+
+    def test_sum_min_max_avg_skip_nulls(self, orders, customers):
+        joined = HashJoin(Scan(customers), Scan(orders),
+                          ["key"], ["ckey"], join_type="left")
+        result = execute(HashAggregate(
+            joined, group_by=["cname"],
+            aggregates=[
+                AggregateSpec("s", "sum", Col("total")),
+                AggregateSpec("lo", "min", Col("total")),
+                AggregateSpec("hi", "max", Col("total")),
+                AggregateSpec("mean", "avg", Col("total")),
+            ],
+        ))
+        rows = {row["cname"]: row for row in result.to_dicts()}
+        assert rows["dee"]["s"] == 0          # sum over no values
+        assert rows["dee"]["lo"] is None
+        assert rows["dee"]["mean"] is None
+        assert rows["ada"]["hi"] == 100.0
+
+
+class TestDistinctAndTopK:
+    def test_distinct_removes_duplicates(self, orders):
+        from repro.relational.operators import Distinct
+
+        doubled = UnionAll(Scan(orders), Scan(orders))
+        assert execute(Distinct(doubled)).num_rows == orders.num_rows
+
+    def test_topk_matches_sort_limit(self, orders):
+        from repro.relational.operators import TopK
+
+        topk = execute(TopK(Scan(orders), by=["total"], k=2))
+        reference = execute(
+            Limit(Sort(Scan(orders), ["total"], descending=True), 2)
+        )
+        assert list(topk.rows()) == list(reference.rows())
+
+    def test_topk_ascending(self, orders):
+        from repro.relational.operators import TopK
+
+        result = execute(TopK(Scan(orders), by=["total"], k=2,
+                              descending=False))
+        assert result.column("total") == [50.0, 75.0]
+
+    def test_topk_validation(self, orders):
+        from repro.relational.operators import TopK
+
+        with pytest.raises(ValueError):
+            TopK(Scan(orders), by=["total"], k=0)

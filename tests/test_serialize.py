@@ -1,0 +1,89 @@
+"""Tests for plan/stats JSON serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.cost_model import ClusterStats
+from repro.core.plan import Operator
+from repro.core.serialize import (
+    dump_plan,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+
+
+class TestPlanRoundTrip:
+    def test_round_trip_preserves_everything(self, paper_plan):
+        rebuilt = plan_from_dict(plan_to_dict(paper_plan))
+        assert set(rebuilt.edges()) == set(paper_plan.edges())
+        for op_id, original in paper_plan.operators.items():
+            assert rebuilt[op_id] == original
+
+    def test_round_trip_with_extension_fields(self):
+        from repro.core.plan import Plan
+
+        plan = Plan()
+        plan.add_operator(Operator(
+            1, "udf", 10.0, 2.0, cardinality=123, base_inputs=2,
+            state_ckpt_cost=0.5,
+        ))
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert rebuilt[1].state_ckpt_cost == 0.5
+        assert rebuilt[1].base_inputs == 2
+        assert rebuilt[1].cardinality == 123
+
+    def test_dict_is_json_compatible(self, paper_plan):
+        json.dumps(plan_to_dict(paper_plan))   # must not raise
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            plan_from_dict({"format": "something-else"})
+
+    def test_file_round_trip(self, paper_plan, tmp_path):
+        path = str(tmp_path / "plan.json")
+        dump_plan(paper_plan, path)
+        rebuilt = load_plan(path)
+        assert set(rebuilt.edges()) == set(paper_plan.edges())
+
+    def test_stream_round_trip(self, paper_plan):
+        buffer = io.StringIO()
+        dump_plan(paper_plan, buffer)
+        buffer.seek(0)
+        rebuilt = load_plan(buffer)
+        assert len(rebuilt) == len(paper_plan)
+
+    def test_costs_survive_search(self, paper_plan, stats_hour):
+        """A chosen configuration serializes and re-optimizes identically."""
+        from repro.core.enumeration import find_best_ft_plan
+
+        first = find_best_ft_plan([paper_plan], stats_hour)
+        rebuilt = plan_from_dict(plan_to_dict(paper_plan))
+        second = find_best_ft_plan([rebuilt], stats_hour)
+        assert first.cost == pytest.approx(second.cost)
+        assert first.mat_config == second.mat_config
+
+
+class TestStatsRoundTrip:
+    def test_round_trip(self):
+        stats = ClusterStats(mtbf=3600, mttr=2.0, nodes=10,
+                             const_pipe=0.8, success_percentile=0.9,
+                             scale_mtbf_by_nodes=True)
+        rebuilt = stats_from_dict(stats_to_dict(stats))
+        assert rebuilt == stats
+
+    def test_defaults_fill_missing_optionals(self):
+        payload = stats_to_dict(ClusterStats(mtbf=60))
+        del payload["const_pipe"]
+        del payload["scale_mtbf_by_nodes"]
+        rebuilt = stats_from_dict(payload)
+        assert rebuilt.const_pipe == 1.0
+        assert not rebuilt.scale_mtbf_by_nodes
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            stats_from_dict({"format": "nope", "mtbf": 1})

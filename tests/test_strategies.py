@@ -1,0 +1,75 @@
+"""Unit tests for the four fault-tolerance schemes."""
+
+import pytest
+
+from repro.core.strategies import (
+    AllMat,
+    CostBased,
+    NoMatLineage,
+    NoMatRestart,
+    RecoveryMode,
+    scheme_by_name,
+    standard_schemes,
+)
+
+
+class TestUniformSchemes:
+    def test_all_mat_materializes_every_free_operator(self, paper_plan,
+                                                      stats_hour):
+        configured = AllMat().configure(paper_plan, stats_hour)
+        for op_id in paper_plan.free_operators:
+            assert configured.plan[op_id].materialize
+        assert configured.recovery is RecoveryMode.FINE_GRAINED
+
+    def test_no_mat_lineage_materializes_nothing_free(self, paper_plan,
+                                                      stats_hour):
+        configured = NoMatLineage().configure(paper_plan, stats_hour)
+        for op_id in paper_plan.free_operators:
+            assert not configured.plan[op_id].materialize
+        assert configured.recovery is RecoveryMode.FINE_GRAINED
+
+    def test_no_mat_restart_uses_coarse_recovery(self, paper_plan,
+                                                 stats_hour):
+        configured = NoMatRestart().configure(paper_plan, stats_hour)
+        assert configured.recovery is RecoveryMode.RESTART_QUERY
+
+    def test_bound_operators_keep_their_flags(self, paper_plan, stats_hour):
+        configured = NoMatLineage().configure(paper_plan, stats_hour)
+        assert configured.plan[6].materialize   # bound sink stays
+        configured = AllMat().configure(paper_plan, stats_hour)
+        assert configured.plan[6].materialize
+
+
+class TestCostBased:
+    def test_returns_search_result(self, paper_plan, stats_hour):
+        configured = CostBased().configure(paper_plan, stats_hour)
+        assert configured.search is not None
+        assert configured.search.cost > 0
+        assert configured.recovery is RecoveryMode.FINE_GRAINED
+
+    def test_never_worse_than_uniform_schemes_in_the_model(
+            self, paper_plan, stats_hour):
+        from repro.core.enumeration import estimate_plan_cost
+
+        best = CostBased().configure(paper_plan, stats_hour).search.cost
+        for scheme in (AllMat(), NoMatLineage()):
+            configured = scheme.configure(paper_plan, stats_hour)
+            assert best <= estimate_plan_cost(
+                configured.plan, stats_hour
+            ).cost + 1e-9
+
+
+class TestRegistry:
+    def test_standard_schemes_order(self):
+        names = [scheme.name for scheme in standard_schemes()]
+        assert names == [
+            "all-mat", "no-mat (lineage)", "no-mat (restart)", "cost-based"
+        ]
+
+    def test_scheme_by_name(self):
+        assert isinstance(scheme_by_name("cost-based"), CostBased)
+        assert isinstance(scheme_by_name("all-mat"), AllMat)
+
+    def test_scheme_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            scheme_by_name("does-not-exist")

@@ -1,0 +1,121 @@
+"""Tests for the TPC-H data generator."""
+
+import pytest
+
+from repro.tpch.datagen import generate
+from repro.tpch.schema import (
+    LINE_STATUSES,
+    MARKET_SEGMENTS,
+    MAX_ORDER_DATE,
+    MIN_ORDER_DATE,
+    REGION_NAMES,
+    RETURN_FLAGS,
+    rows_at_sf,
+)
+
+
+class TestScaling:
+    def test_fixed_tables(self, tiny_tpch):
+        assert tiny_tpch["region"].num_rows == 5
+        assert tiny_tpch["nation"].num_rows == 25
+
+    def test_scaled_tables(self, tiny_tpch):
+        sf = tiny_tpch.scale_factor
+        assert tiny_tpch["supplier"].num_rows == rows_at_sf("supplier", sf)
+        assert tiny_tpch["customer"].num_rows == rows_at_sf("customer", sf)
+        assert tiny_tpch["orders"].num_rows == rows_at_sf("orders", sf)
+
+    def test_lineitem_fanout(self, tiny_tpch):
+        ratio = tiny_tpch["lineitem"].num_rows / tiny_tpch["orders"].num_rows
+        assert 3.5 < ratio < 4.5  # uniform 1..7 per order
+
+    def test_partsupp_fanout(self, tiny_tpch):
+        assert tiny_tpch["partsupp"].num_rows == \
+            4 * tiny_tpch["part"].num_rows
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            generate(0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(0.001, seed=5)
+        b = generate(0.001, seed=5)
+        for name in a.tables:
+            assert list(a[name].rows()) == list(b[name].rows())
+
+    def test_different_seed_different_data(self):
+        a = generate(0.001, seed=5)
+        b = generate(0.001, seed=6)
+        assert list(a["orders"].rows()) != list(b["orders"].rows())
+
+
+class TestReferentialIntegrity:
+    def test_orders_reference_customers(self, tiny_tpch):
+        customer_keys = set(tiny_tpch["customer"].column("c_custkey"))
+        assert set(tiny_tpch["orders"].column("o_custkey")) <= customer_keys
+
+    def test_lineitems_reference_orders(self, tiny_tpch):
+        order_keys = set(tiny_tpch["orders"].column("o_orderkey"))
+        assert set(tiny_tpch["lineitem"].column("l_orderkey")) <= order_keys
+
+    def test_lineitems_reference_parts_and_suppliers(self, tiny_tpch):
+        part_keys = set(tiny_tpch["part"].column("p_partkey"))
+        supp_keys = set(tiny_tpch["supplier"].column("s_suppkey"))
+        assert set(tiny_tpch["lineitem"].column("l_partkey")) <= part_keys
+        assert set(tiny_tpch["lineitem"].column("l_suppkey")) <= supp_keys
+
+    def test_partsupp_references(self, tiny_tpch):
+        part_keys = set(tiny_tpch["part"].column("p_partkey"))
+        supp_keys = set(tiny_tpch["supplier"].column("s_suppkey"))
+        assert set(tiny_tpch["partsupp"].column("ps_partkey")) <= part_keys
+        assert set(tiny_tpch["partsupp"].column("ps_suppkey")) <= supp_keys
+
+    def test_nations_reference_regions(self, tiny_tpch):
+        region_keys = set(tiny_tpch["region"].column("r_regionkey"))
+        assert set(tiny_tpch["nation"].column("n_regionkey")) <= region_keys
+
+    def test_each_region_has_five_nations(self, tiny_tpch):
+        region_keys = tiny_tpch["nation"].column("n_regionkey")
+        for region in range(5):
+            assert region_keys.count(region) == 5
+
+
+class TestValueDomains:
+    def test_region_names(self, tiny_tpch):
+        assert tiny_tpch["region"].column("r_name") == REGION_NAMES
+
+    def test_order_dates_in_range(self, tiny_tpch):
+        dates = tiny_tpch["orders"].column("o_orderdate")
+        assert min(dates) >= MIN_ORDER_DATE
+        assert max(dates) <= MAX_ORDER_DATE
+
+    def test_ship_dates_follow_order_dates(self, tiny_tpch):
+        order_dates = dict(zip(
+            tiny_tpch["orders"].column("o_orderkey"),
+            tiny_tpch["orders"].column("o_orderdate"),
+        ))
+        for okey, ship in zip(tiny_tpch["lineitem"].column("l_orderkey"),
+                              tiny_tpch["lineitem"].column("l_shipdate")):
+            delay = ship - order_dates[okey]
+            assert 1 <= delay <= 121
+
+    def test_mktsegments_and_flags(self, tiny_tpch):
+        assert set(tiny_tpch["customer"].column("c_mktsegment")) <= \
+            set(MARKET_SEGMENTS)
+        assert set(tiny_tpch["lineitem"].column("l_returnflag")) <= \
+            set(RETURN_FLAGS)
+        assert set(tiny_tpch["lineitem"].column("l_linestatus")) <= \
+            set(LINE_STATUSES)
+
+    def test_discount_and_tax_ranges(self, tiny_tpch):
+        assert all(0 <= d <= 0.10
+                   for d in tiny_tpch["lineitem"].column("l_discount"))
+        assert all(0 <= t <= 0.08
+                   for t in tiny_tpch["lineitem"].column("l_tax"))
+
+    def test_total_rows_property(self, tiny_tpch):
+        assert tiny_tpch.total_rows == sum(
+            table.num_rows for table in tiny_tpch.tables.values()
+        )

@@ -1,0 +1,254 @@
+"""Tests for the workload queries: execution results and plan shapes."""
+
+import pytest
+
+from repro.relational.executor import execute
+from repro.tpch.queries import (
+    QUERIES,
+    Q5_YEAR_HI,
+    Q5_YEAR_LO,
+    build_query_plan,
+    q5_logical_with_dates,
+    q5_physical_with_dates,
+)
+from repro.tpch.schema import NATION_NAMES, NATION_REGIONS
+
+
+class TestQueryResults:
+    def test_q1_has_six_groups_with_sane_aggregates(self, tiny_tpch):
+        result = execute(QUERIES["Q1"].physical_tree(tiny_tpch))
+        assert result.num_rows == 6
+        for row in result.to_dicts():
+            assert row["sum_disc_price"] <= row["sum_base_price"]
+            assert row["sum_charge"] >= row["sum_disc_price"]
+            assert 0 <= row["avg_disc"] <= 0.10
+            assert row["count_order"] > 0
+
+    def test_q1_counts_cover_all_lineitems(self, tiny_tpch):
+        result = execute(QUERIES["Q1"].physical_tree(tiny_tpch))
+        shipped_before_cutoff = sum(result.column("count_order"))
+        assert shipped_before_cutoff <= tiny_tpch["lineitem"].num_rows
+        assert shipped_before_cutoff > 0.9 * tiny_tpch["lineitem"].num_rows
+
+    def test_q3_returns_top10_by_revenue(self, tiny_tpch):
+        result = execute(QUERIES["Q3"].physical_tree(tiny_tpch))
+        assert result.num_rows <= 10
+        revenues = result.column("revenue")
+        assert revenues == sorted(revenues, reverse=True)
+        assert all(r > 0 for r in revenues)
+
+    def test_q5_groups_are_asian_nations(self, tiny_tpch):
+        result = execute(QUERIES["Q5"].physical_tree(tiny_tpch))
+        asia_nations = {
+            NATION_NAMES[k] for k in range(25) if NATION_REGIONS[k] == 2
+        }
+        assert set(result.column("n_name")) <= asia_nations
+        assert all(r > 0 for r in result.column("revenue"))
+
+    def test_q5_one_year_returns_fewer_rows_worth_of_revenue(
+            self, tiny_tpch):
+        full = execute(QUERIES["Q5"].physical_tree(tiny_tpch))
+        year = execute(q5_physical_with_dates(
+            tiny_tpch, Q5_YEAR_LO, Q5_YEAR_HI
+        ))
+        assert sum(year.column("revenue")) < sum(full.column("revenue"))
+
+    def test_q1c_counts_above_average_items(self, tiny_tpch):
+        result = execute(QUERIES["Q1C"].physical_tree(tiny_tpch))
+        assert result.num_rows <= 6
+        total_above = sum(result.column("items_above_avg"))
+        total = tiny_tpch["lineitem"].num_rows
+        # prices are uniform-ish, so roughly half lie above the mean
+        assert 0.3 * total < total_above < 0.7 * total
+
+    def test_q2c_minimum_costs_are_minimal(self, tiny_tpch):
+        result = execute(QUERIES["Q2C"].physical_tree(tiny_tpch))
+        supply = {}
+        european = set()
+        nations = tiny_tpch["nation"]
+        euro_nations = {
+            nations.column("n_nationkey")[i]
+            for i in range(25) if nations.column("n_regionkey")[i] == 3
+        }
+        supplier_nation = dict(zip(
+            tiny_tpch["supplier"].column("s_suppkey"),
+            tiny_tpch["supplier"].column("s_nationkey"),
+        ))
+        for pk, sk, cost in zip(
+            tiny_tpch["partsupp"].column("ps_partkey"),
+            tiny_tpch["partsupp"].column("ps_suppkey"),
+            tiny_tpch["partsupp"].column("ps_supplycost"),
+        ):
+            if supplier_nation[sk] in euro_nations:
+                supply.setdefault(pk, []).append(cost)
+        for row in result.to_dicts():
+            assert row["min_cost"] == pytest.approx(
+                min(supply[row["p_partkey"]])
+            )
+
+
+class TestPlanShapes:
+    @pytest.mark.parametrize("name,free_count", [
+        ("Q1", 0), ("Q3", 2), ("Q5", 5), ("Q1C", 2), ("Q2C", 8),
+    ])
+    def test_free_operator_counts(self, name, free_count):
+        assert QUERIES[name].free_operator_count == free_count
+
+    def test_q5_operator_ids_match_figure9(self, default_params):
+        plan = build_query_plan("Q5", 1.0, default_params)
+        assert plan.free_operators == [1, 2, 3, 4, 5]
+        assert plan.sinks == [6]
+
+    def test_q2c_is_a_dag_with_two_sinks(self, default_params):
+        plan = build_query_plan("Q2C", 10.0, default_params)
+        assert sorted(plan.sinks) == [9, 10]
+        # the CTE aggregate feeds both outer joins
+        assert sorted(plan.consumers(4)) == [5, 6]
+        # the European partsupp result also feeds both back-joins
+        assert sorted(plan.consumers(3)) == [4, 7, 8]
+
+    def test_sinks_are_always_materialized(self, default_params):
+        for name in QUERIES:
+            plan = build_query_plan(name, 1.0, default_params)
+            for sink in plan.sinks:
+                assert plan[sink].materialize and not plan[sink].free
+
+    def test_plans_scale_linearly(self, default_params):
+        small = build_query_plan("Q5", 1.0, default_params)
+        large = build_query_plan("Q5", 100.0, default_params)
+        assert large[4].runtime_cost == pytest.approx(
+            100 * small[4].runtime_cost, rel=0.01
+        )
+
+    def test_q5_sf100_baseline_matches_calibration(self, default_params):
+        """The anchor: Q5 @ SF 100 has a ~905 s failure-free runtime."""
+        plan = build_query_plan("Q5", 100.0, default_params)
+        chain_runtime = sum(
+            plan[op_id].runtime_cost for op_id in (1, 2, 3, 4, 5, 6)
+        )
+        assert chain_runtime == pytest.approx(905.33, rel=0.01)
+
+    def test_q5_mat_cost_share_matches_calibration(self, default_params):
+        """The anchor: materializing 1-5 costs ~34 % of the runtime."""
+        plan = build_query_plan("Q5", 100.0, default_params)
+        runtime = sum(plan[o].runtime_cost for o in (1, 2, 3, 4, 5, 6))
+        mat = sum(plan[o].mat_cost for o in (1, 2, 3, 4, 5))
+        assert mat / runtime == pytest.approx(0.3413, rel=0.03)
+
+    def test_q5_date_window_controls_selectivity(self, default_params):
+        from repro.stats.estimates import build_plan
+
+        narrow = build_plan(
+            q5_logical_with_dates(100.0, Q5_YEAR_LO, Q5_YEAR_HI),
+            default_params,
+        )
+        wide = build_query_plan("Q5", 100.0, default_params)
+        assert narrow[3].cardinality < wide[3].cardinality
+
+    def test_unknown_query_rejected(self, default_params):
+        with pytest.raises(KeyError):
+            build_query_plan("Q99", 1.0, default_params)
+
+
+class TestExtendedWorkloadQueries:
+    """Q6 and Q10 -- the queries added beyond the paper's evaluation set."""
+
+    def test_q6_returns_a_single_revenue_number(self, tiny_tpch):
+        result = execute(QUERIES["Q6"].physical_tree(tiny_tpch))
+        assert result.num_rows == 1
+        assert result.column("revenue")[0] > 0
+
+    def test_q6_matches_a_hand_computed_answer(self, tiny_tpch):
+        lineitem = tiny_tpch["lineitem"]
+        from repro.tpch.queries import Q6_DATE_LO, Q6_DATE_HI
+        expected = sum(
+            price * disc
+            for price, disc, qty, ship in zip(
+                lineitem.column("l_extendedprice"),
+                lineitem.column("l_discount"),
+                lineitem.column("l_quantity"),
+                lineitem.column("l_shipdate"),
+            )
+            if Q6_DATE_LO + 1 <= ship < Q6_DATE_HI + 1
+            and 0.05 <= disc <= 0.07 and qty < 24
+        )
+        result = execute(QUERIES["Q6"].physical_tree(tiny_tpch))
+        assert result.column("revenue")[0] == pytest.approx(expected)
+
+    def test_q6_has_no_free_operator(self):
+        assert QUERIES["Q6"].free_operator_count == 0
+
+    def test_q10_returns_top_20_by_revenue(self, tiny_tpch):
+        result = execute(QUERIES["Q10"].physical_tree(tiny_tpch))
+        assert result.num_rows <= 20
+        revenues = result.column("revenue")
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q10_customers_really_returned_items(self, tiny_tpch):
+        result = execute(QUERIES["Q10"].physical_tree(tiny_tpch))
+        returned_customers = set()
+        order_customer = dict(zip(
+            tiny_tpch["orders"].column("o_orderkey"),
+            tiny_tpch["orders"].column("o_custkey"),
+        ))
+        for okey, flag in zip(tiny_tpch["lineitem"].column("l_orderkey"),
+                              tiny_tpch["lineitem"].column("l_returnflag")):
+            if flag == "R":
+                returned_customers.add(order_customer[okey])
+        assert set(result.column("c_custkey")) <= returned_customers
+
+    def test_q10_has_three_free_operators(self):
+        assert QUERIES["Q10"].free_operator_count == 3
+
+    def test_q6_q10_plans_build_and_scale(self, default_params):
+        for name in ("Q6", "Q10"):
+            small = build_query_plan(name, 1.0, default_params)
+            large = build_query_plan(name, 50.0, default_params)
+            small.validate()
+            assert large.total_runtime_cost > 10 * small.total_runtime_cost
+
+    def test_q6_analytical_selectivity_matches_measured(self, tiny_tpch):
+        from repro.relational.executor import profile
+        _, profiles = profile(QUERIES["Q6"].physical_tree(tiny_tpch))
+        measured = next(
+            p.output_rows for p in profiles.values()
+            if p.description.startswith("Filter")
+        )
+        predicted = next(
+            op.out_rows for op in QUERIES["Q6"].logical_ops(
+                tiny_tpch.scale_factor
+            )
+            if op.op_id == 1
+        )
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+
+class TestQ13:
+    def test_q13_distribution_matches_hand_computation(self, tiny_tpch):
+        from collections import Counter
+
+        result = execute(QUERIES["Q13"].physical_tree(tiny_tpch))
+        orders = tiny_tpch["orders"]
+        per_customer = Counter(
+            c for c, s in zip(orders.column("o_custkey"),
+                              orders.column("o_orderstatus"))
+            if s != "P"
+        )
+        expected = Counter(
+            per_customer.get(c, 0)
+            for c in tiny_tpch["customer"].column("c_custkey")
+        )
+        measured = dict(zip(result.column("c_count"),
+                            result.column("custdist")))
+        for count, customers in measured.items():
+            assert expected[count] == customers
+
+    def test_q13_counts_every_customer_once(self, tiny_tpch):
+        result = execute(QUERIES["Q13"].physical_tree(tiny_tpch))
+        assert sum(result.column("custdist")) == \
+            tiny_tpch["customer"].num_rows
+
+    def test_q13_plan_shape(self, default_params):
+        plan = build_query_plan("Q13", 10.0, default_params)
+        assert QUERIES["Q13"].free_operator_count == 2
+        assert plan.sinks == [3]

@@ -1,0 +1,169 @@
+"""Unit tests for failure-trace generation (Section 5.1's protocol)."""
+
+import pytest
+
+from repro.engine.traces import (
+    FailureTrace,
+    empirical_mtbf,
+    extend_trace,
+    generate_trace,
+    generate_trace_set,
+)
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        a = generate_trace(4, 100.0, 10_000.0, seed=7)
+        b = generate_trace(4, 100.0, 10_000.0, seed=7)
+        assert a.node_failures == b.node_failures
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(4, 100.0, 10_000.0, seed=1)
+        b = generate_trace(4, 100.0, 10_000.0, seed=2)
+        assert a.node_failures != b.node_failures
+
+    def test_failures_are_strictly_increasing(self):
+        trace = generate_trace(3, 50.0, 5_000.0, seed=0)
+        for failures in trace.node_failures:
+            assert list(failures) == sorted(failures)
+            assert len(set(failures)) == len(failures)
+
+    def test_failures_respect_horizon(self):
+        trace = generate_trace(3, 50.0, 1_000.0, seed=0)
+        for failures in trace.node_failures:
+            assert all(f <= 1_000.0 for f in failures)
+
+    def test_empirical_mtbf_close_to_nominal(self):
+        trace = generate_trace(10, 100.0, 100_000.0, seed=3)
+        observed = empirical_mtbf(trace)
+        assert observed == pytest.approx(100.0, rel=0.1)
+
+    def test_empirical_mtbf_none_without_failures(self):
+        assert empirical_mtbf(FailureTrace.empty(3)) is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"nodes": 0, "mtbf": 1, "horizon": 1},
+        {"nodes": 1, "mtbf": 0, "horizon": 1},
+        {"nodes": 1, "mtbf": 1, "horizon": 0},
+    ])
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_trace(seed=0, **kwargs)
+
+
+class TestExtension:
+    def test_extension_preserves_prefix(self):
+        short = generate_trace(5, 100.0, 1_000.0, seed=11)
+        long = extend_trace(short, 10_000.0)
+        for node in range(5):
+            prefix = [f for f in long.failures_of(node) if f <= 1_000.0]
+            assert tuple(prefix) == short.failures_of(node)
+
+    def test_extension_is_noop_for_smaller_horizon(self):
+        trace = generate_trace(2, 100.0, 5_000.0, seed=1)
+        assert extend_trace(trace, 1_000.0) is trace
+
+    def test_extension_requires_seed(self):
+        with pytest.raises(ValueError):
+            extend_trace(FailureTrace.empty(2), 100.0)
+
+
+class TestQueries:
+    def test_next_failure(self):
+        trace = FailureTrace(
+            node_failures=((10.0, 20.0, 30.0), (5.0,)), mtbf=1.0
+        )
+        assert trace.next_failure(0, 0.0) == 10.0
+        assert trace.next_failure(0, 10.0) == 20.0   # strictly after
+        assert trace.next_failure(0, 35.0) is None
+        assert trace.next_failure(1, 5.0) is None
+
+    def test_first_failure_across_nodes(self):
+        trace = FailureTrace(
+            node_failures=((10.0, 20.0), (5.0, 40.0)), mtbf=1.0
+        )
+        assert trace.first_failure(0.0, 100.0) == (5.0, 1)
+        assert trace.first_failure(5.0, 100.0) == (10.0, 0)
+        assert trace.first_failure(40.0, 100.0) is None
+
+    def test_count_in(self):
+        trace = FailureTrace(
+            node_failures=((10.0, 20.0), (5.0, 40.0)), mtbf=1.0
+        )
+        assert trace.count_in(0.0, 100.0) == 4
+        assert trace.count_in(10.0, 40.0) == 2  # (10, 40]: 20 and 40
+
+    def test_empty_trace(self):
+        trace = FailureTrace.empty(3)
+        assert trace.nodes == 3
+        assert trace.next_failure(0, 0.0) is None
+        assert trace.first_failure(0.0, 1e12) is None
+        assert trace.horizon == float("inf")
+
+
+class TestTraceSet:
+    def test_count_and_distinct_seeds(self):
+        traces = generate_trace_set(3, 100.0, 10_000.0, count=10,
+                                    base_seed=100)
+        assert len(traces) == 10
+        assert len({t.seed for t in traces}) == 10
+
+    def test_reproducible(self):
+        a = generate_trace_set(2, 100.0, 1_000.0, count=3, base_seed=5)
+        b = generate_trace_set(2, 100.0, 1_000.0, count=3, base_seed=5)
+        assert [t.node_failures for t in a] == [t.node_failures for t in b]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_trace_set(2, 100.0, 1_000.0, count=0)
+
+
+class TestWeibullTraces:
+    def test_mean_interarrival_matches_mtbf(self):
+        from repro.engine.traces import generate_weibull_trace
+
+        trace = generate_weibull_trace(10, mtbf=100.0,
+                                       horizon=100_000.0, seed=4)
+        observed = empirical_mtbf(trace)
+        assert observed == pytest.approx(100.0, rel=0.1)
+
+    def test_shape_one_behaves_like_exponential(self):
+        from repro.engine.traces import generate_weibull_trace
+
+        trace = generate_weibull_trace(5, mtbf=50.0, horizon=50_000.0,
+                                       seed=1, shape=1.0)
+        assert empirical_mtbf(trace) == pytest.approx(50.0, rel=0.15)
+
+    def test_bursty_shape_clusters_failures(self):
+        """shape < 1 means a decreasing hazard: the variance of the
+        inter-arrival times exceeds the exponential's."""
+        from repro.engine.traces import generate_weibull_trace
+        import numpy as np
+
+        def gap_cv(trace):
+            gaps = []
+            for failures in trace.node_failures:
+                gaps.extend(b - a for a, b in zip(failures, failures[1:]))
+            return float(np.std(gaps) / np.mean(gaps))
+
+        bursty = generate_weibull_trace(4, 100.0, 400_000.0, seed=2,
+                                        shape=0.5)
+        memoryless = generate_weibull_trace(4, 100.0, 400_000.0, seed=2,
+                                            shape=1.0)
+        assert gap_cv(bursty) > gap_cv(memoryless) * 1.3
+
+    def test_sorted_and_bounded(self):
+        from repro.engine.traces import generate_weibull_trace
+
+        trace = generate_weibull_trace(3, 20.0, 5_000.0, seed=7)
+        for failures in trace.node_failures:
+            assert list(failures) == sorted(failures)
+            assert all(0 < f <= 5_000.0 for f in failures)
+
+    def test_validation(self):
+        from repro.engine.traces import generate_weibull_trace
+
+        with pytest.raises(ValueError):
+            generate_weibull_trace(0, 1.0, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            generate_weibull_trace(1, 1.0, 1.0, seed=0, shape=0.0)

@@ -1,0 +1,91 @@
+"""Tests for the terminal visualization helpers."""
+
+import pytest
+
+from repro.core.plan import linear_plan
+from repro.core.strategies import NoMatLineage
+from repro.engine.cluster import Cluster
+from repro.engine.executor import SimulatedEngine
+from repro.engine.traces import FailureTrace
+from repro.engine.viz import (
+    render_gantt,
+    render_line_chart,
+    render_overhead_bars,
+)
+
+
+def _result_with_failure():
+    plan = linear_plan([(50.0, 1.0), (50.0, 1.0)])
+    cluster = Cluster(nodes=2, mttr=1.0)
+    engine = SimulatedEngine(cluster)
+    configured = NoMatLineage().configure(plan, cluster.stats(1e9))
+    trace = FailureTrace(node_failures=((30.0,), ()), mtbf=1.0)
+    return engine.execute(configured, trace)
+
+
+class TestGantt:
+    def test_lanes_per_node_and_marks(self):
+        result = _result_with_failure()
+        rendering = render_gantt(result, nodes=2)
+        lines = rendering.splitlines()
+        assert lines[0].startswith("node  0")
+        assert lines[1].startswith("node  1")
+        assert "x" in lines[0]    # node 0's destroyed attempt
+        assert "#" in lines[0] and "#" in lines[1]
+
+    def test_axis_shows_runtime(self):
+        result = _result_with_failure()
+        rendering = render_gantt(result, nodes=2)
+        assert f"{result.runtime:.0f}s" in rendering.splitlines()[-1]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt(_result_with_failure(), nodes=2, width=8)
+
+
+class TestLineChart:
+    def test_plots_each_series_with_distinct_glyphs(self):
+        chart = render_line_chart(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+        )
+        assert "*" in chart and "o" in chart
+        assert "* up" in chart and "o down" in chart
+
+    def test_axis_labels(self):
+        chart = render_line_chart([0, 10], {"s": [5, 25]},
+                                  y_label="percent")
+        assert "percent" in chart
+        assert "25.0" in chart and "5.0" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_line_chart([0, 1], {"flat": [2.0, 2.0]})
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_line_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            render_line_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            render_line_chart([0, 1], {"s": [1.0, 2.0]}, height=2)
+
+
+class TestOverheadBars:
+    def test_bars_scale_to_the_peak(self):
+        rendering = render_overhead_bars(
+            {"a": 100.0, "b": 50.0}, width=20
+        )
+        lines = rendering.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_aborted_schemes_are_flagged(self):
+        rendering = render_overhead_bars(
+            {"a": 10.0, "dead": 0.0}, aborted=["dead"]
+        )
+        assert "ABORTED" in rendering
+
+    def test_values_rendered(self):
+        rendering = render_overhead_bars({"a": 12.3})
+        assert "12.3%" in rendering

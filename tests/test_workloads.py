@@ -1,0 +1,40 @@
+"""Tests for mixed-workload generation."""
+
+import pytest
+
+from repro.workloads import generate_mixed_workload
+
+
+class TestMixedWorkload:
+    def test_count_and_determinism(self):
+        a = generate_mixed_workload(count=10, seed=3)
+        b = generate_mixed_workload(count=10, seed=3)
+        assert len(a) == 10
+        assert [q.label for q in a] == [q.label for q in b]
+
+    def test_runtime_spread_spans_orders_of_magnitude(self):
+        workload = generate_mixed_workload(count=30, seed=1)
+        costs = [q.baseline_cost for q in workload]
+        assert max(costs) / min(costs) > 20.0
+
+    def test_scale_factors_within_range(self):
+        workload = generate_mixed_workload(
+            count=20, seed=2, sf_range=(1.0, 10.0)
+        )
+        assert all(1.0 <= q.scale_factor <= 10.0 for q in workload)
+
+    def test_query_names_respected(self):
+        workload = generate_mixed_workload(
+            count=15, seed=4, query_names=("Q1", "Q5")
+        )
+        assert {q.query_name for q in workload} <= {"Q1", "Q5"}
+
+    def test_plans_are_valid(self):
+        for query in generate_mixed_workload(count=5, seed=5):
+            query.plan.validate()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_mixed_workload(count=0)
+        with pytest.raises(ValueError):
+            generate_mixed_workload(count=1, sf_range=(5.0, 1.0))
