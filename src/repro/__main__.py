@@ -1,8 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from .cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout vanished mid-print (e.g. `... | head`); exit with the
+        # conventional SIGPIPE status instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(141)

@@ -1,0 +1,72 @@
+"""Static analysis: plan/invariant linting and custom AST code rules.
+
+Two passes over one diagnostics framework:
+
+* :mod:`repro.analysis.plan_lint` -- validates :class:`~repro.core.plan.Plan`
+  DAGs, materialization configurations, collapsed plans, and the cost
+  model's invariants without executing anything (rules ``P0xx``/``M0xx``);
+* :mod:`repro.analysis.code_lint` -- ``ast``-based rules for repo-specific
+  hazards such as unseeded RNGs in the deterministic simulator (rules
+  ``C0xx``).
+
+Run both from the command line with ``python -m repro lint``; the rule
+catalog is documented in ``docs/analysis.md``.
+"""
+
+from .code_lint import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_is_deterministic,
+)
+from .diagnostics import (
+    RULES,
+    Diagnostic,
+    DiagnosticSink,
+    LintError,
+    Location,
+    Rule,
+    Severity,
+    format_json,
+    format_text,
+    has_errors,
+    max_severity,
+    register_rule,
+    require_clean,
+)
+from .plan_lint import (
+    default_stats_grid,
+    lint_collapsed,
+    lint_invariants,
+    lint_mat_config,
+    lint_plan,
+    preflight_check,
+)
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "DiagnosticSink",
+    "LintError",
+    "Location",
+    "Rule",
+    "Severity",
+    "default_stats_grid",
+    "format_json",
+    "format_text",
+    "has_errors",
+    "iter_python_files",
+    "lint_collapsed",
+    "lint_file",
+    "lint_invariants",
+    "lint_mat_config",
+    "lint_paths",
+    "lint_plan",
+    "lint_source",
+    "max_severity",
+    "module_is_deterministic",
+    "preflight_check",
+    "register_rule",
+    "require_clean",
+]

@@ -1,0 +1,212 @@
+"""Shared diagnostics framework for the static-analysis passes.
+
+Both linters -- the plan linter (:mod:`repro.analysis.plan_lint`) and the
+AST code linter (:mod:`repro.analysis.code_lint`) -- report their findings
+through the same vocabulary: a :class:`Diagnostic` carries a stable rule
+id, a :class:`Severity`, a :class:`Location` (a source file/line for code
+findings, an operator/group for plan findings), a human-readable message,
+and a fix hint.  The rule catalog itself is first-class
+(:data:`RULES`), so the CLI can list it and the docs stay in sync with
+the implementation.
+
+Rule id namespaces:
+
+* ``P0xx`` -- structural plan/configuration rules,
+* ``M0xx`` -- cost-model invariant rules (evaluated over a grid of
+  :class:`~repro.core.cost_model.ClusterStats`),
+* ``C0xx`` -- AST code rules for repo-specific hazards.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points.
+
+    Code findings fill ``file``/``line``/``column``; plan findings fill
+    ``obj`` with a description of the offending plan object (an operator,
+    a collapsed group, a configuration entry) and optionally ``plan`` with
+    the plan's name.
+    """
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+    plan: Optional[str] = None
+    obj: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.file is not None:
+            text = self.file
+            if self.line is not None:
+                text += f":{self.line}"
+                if self.column is not None:
+                    text += f":{self.column}"
+            return text
+        parts = [part for part in (self.plan, self.obj) if part]
+        return " ".join(parts) if parts else "<unknown>"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            key: value
+            for key, value in (
+                ("file", self.file),
+                ("line", self.line),
+                ("column", self.column),
+                ("plan", self.plan),
+                ("obj", self.obj),
+            )
+            if value is not None
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalog."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+    hint: str
+
+    def at(self, location: Location, message: str,
+           severity: Optional[Severity] = None,
+           hint: Optional[str] = None) -> "Diagnostic":
+        """Instantiate a finding of this rule at ``location``."""
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            location=location,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of either linter."""
+
+    rule_id: str
+    severity: Severity
+    location: Location
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        text = f"{self.location}: {self.rule_id} {self.severity}: {self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "location": self.location.as_dict(),
+            "message": self.message,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+#: global rule catalog, populated by the linter modules at import time
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, severity: Severity, summary: str,
+                  hint: str) -> Rule:
+    """Add a rule to the catalog; ids must be unique and stable."""
+    if rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    rule = Rule(rule_id=rule_id, severity=severity, summary=summary,
+                hint=hint)
+    RULES[rule_id] = rule
+    return rule
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True when any finding is error-severity."""
+    return any(d.severity >= Severity.ERROR for d in diagnostics)
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    """The worst severity present, or ``None`` for a clean result."""
+    if not diagnostics:
+        return None
+    return max(d.severity for d in diagnostics)
+
+
+def format_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render findings plus a one-line summary, for terminals."""
+    lines = [d.format() for d in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity >= Severity.ERROR)
+    warnings = sum(1 for d in diagnostics
+                   if d.severity == Severity.WARNING)
+    lines.append(
+        f"{len(diagnostics)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render findings as a JSON document (stable keys, for tooling)."""
+    payload = {
+        "findings": [d.as_dict() for d in diagnostics],
+        "errors": sum(1 for d in diagnostics
+                      if d.severity >= Severity.ERROR),
+        "warnings": sum(1 for d in diagnostics
+                        if d.severity == Severity.WARNING),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class LintError(ValueError):
+    """Raised by :func:`require_clean` when error findings are present."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        errors = [d for d in self.diagnostics
+                  if d.severity >= Severity.ERROR]
+        detail = "; ".join(d.format() for d in errors[:5])
+        if len(errors) > 5:
+            detail += f"; ... and {len(errors) - 5} more"
+        super().__init__(f"lint found {len(errors)} error(s): {detail}")
+
+
+def require_clean(diagnostics: Sequence[Diagnostic]) -> None:
+    """Raise :class:`LintError` when any error-severity finding exists."""
+    if has_errors(diagnostics):
+        raise LintError(diagnostics)
+
+
+@dataclass
+class DiagnosticSink:
+    """Accumulates findings during a lint pass (internal helper)."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def emit(self, rule: Rule, location: Location, message: str,
+             severity: Optional[Severity] = None,
+             hint: Optional[str] = None) -> None:
+        self.diagnostics.append(
+            rule.at(location, message, severity=severity, hint=hint)
+        )

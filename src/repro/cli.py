@@ -1,13 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Main commands:
 
 * ``experiments`` -- regenerate the paper's tables and figures
   (``--list`` to enumerate, ``--only fig11`` to run one);
 * ``advise`` -- recommend a materialization configuration for a TPC-H
   query on a given cluster;
 * ``simulate`` -- measure all four fault-tolerance schemes for a query
-  in the failure simulator.
+  in the failure simulator;
+* ``lint`` -- run the static-analysis passes (``--plans`` for the plan
+  and cost-model invariant linter, ``--code`` for the AST code linter;
+  both by default).  Exits non-zero on error-severity findings.
 
 Durations accept suffixed values (``90s``, ``15m``, ``2h``, ``1d``,
 ``1w``).
@@ -77,7 +80,7 @@ def parse_duration(text: str) -> float:
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"invalid duration {text!r} (use e.g. 90s, 15m, 2h, 1d, 1w)"
-        )
+        ) from None
     if seconds <= 0:
         raise argparse.ArgumentTypeError("duration must be > 0")
     return seconds
@@ -157,6 +160,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="observation window in hours")
     mtbf_cmd.add_argument("--nodes", type=int, default=1)
     mtbf_cmd.add_argument("--confidence", type=float, default=0.95)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: plan/invariant linter + AST code linter",
+    )
+    lint.add_argument("--plans", action="store_true",
+                      help="lint the built-in TPC-H plans and the "
+                           "cost-model invariants")
+    lint.add_argument("--code", action="store_true",
+                      help="run the AST code linter over the package "
+                           "sources")
+    lint.add_argument("--plan-file", action="append", default=[],
+                      metavar="FILE",
+                      help="additionally lint a serialized plan "
+                           "(repro-plan/1 JSON); repeatable")
+    lint.add_argument("--path", action="append", default=[],
+                      metavar="PATH",
+                      help="code-lint these files/directories instead "
+                           "of the installed package; repeatable")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", help="output format (default text)")
+    lint.add_argument("--scale-factor", type=float, default=100.0,
+                      help="TPC-H scale factor for --plans (default 100)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -184,6 +212,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_replay(args)
     if args.command == "estimate-mtbf":
         return _run_estimate_mtbf(args)
+    if args.command == "lint":
+        return _run_lint(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -321,6 +351,70 @@ def _run_estimate_mtbf(args) -> int:
         print(f"use e.g.: repro advise --mtbf {estimate.mtbf:.0f}s "
               f"--nodes {args.nodes}")
     return 0
+
+
+def _run_lint(args) -> int:
+    import os
+
+    from . import analysis
+    from .analysis import (
+        RULES,
+        format_json,
+        format_text,
+        has_errors,
+        lint_mat_config,
+        lint_paths,
+        lint_plan,
+    )
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule_id}  {str(rule.severity):<7s} {rule.summary}")
+        return 0
+
+    run_plans = args.plans or bool(args.plan_file)
+    run_code = args.code or bool(args.path)
+    if not run_plans and not run_code:
+        run_plans = run_code = True  # bare `repro lint` checks everything
+
+    diagnostics = []
+    if run_plans:
+        params = default_parameters(nodes=10)
+        for name in sorted(QUERIES):
+            plan = build_query_plan(name, args.scale_factor, params)
+            diagnostics.extend(lint_plan(plan, plan_name=name))
+            # every free operator materialized: the worst-case legal
+            # configuration must also lint clean
+            all_mat = {op_id: True for op_id in plan.free_operators}
+            diagnostics.extend(
+                lint_mat_config(plan, all_mat.items(), plan_name=name)
+            )
+        for plan_file in args.plan_file:
+            from .core.serialize import load_plan
+            try:
+                plan = load_plan(plan_file)
+            except (OSError, ValueError, KeyError) as error:
+                print(f"error: cannot load {plan_file}: {error}",
+                      file=sys.stderr)
+                return 2
+            diagnostics.extend(lint_plan(plan, plan_name=plan_file))
+    if run_code:
+        paths = args.path or [os.path.dirname(analysis.__path__[0])]
+        missing = [p for p in paths if not os.path.exists(p)]
+        if missing:
+            for p in missing:
+                print(f"error: no such path: {p}", file=sys.stderr)
+            return 2
+        diagnostics.extend(lint_paths(paths))
+
+    if args.format == "json":
+        print(format_json(diagnostics))
+    elif diagnostics:
+        print(format_text(diagnostics))
+    else:
+        print("0 finding(s): clean")
+    return 1 if has_errors(diagnostics) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

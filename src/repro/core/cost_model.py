@@ -125,13 +125,12 @@ def wasted_runtime_exact(total_cost: float, mtbf_cost: float) -> float:
     _check_positive_mtbf(mtbf_cost)
     if total_cost < 0:
         raise ValueError("total_cost must be >= 0")
-    if total_cost == 0:
-        return 0.0
     ratio = total_cost / mtbf_cost
     if ratio < 1e-6:
         # near the limit (Eq. 4) the closed form suffers catastrophic
         # cancellation (two ~MTBF-sized terms differing by ~t/2); the
         # series value t/2 * (1 - ratio/6) is exact to float precision
+        # and evaluates to exactly 0.0 for total_cost == 0
         return total_cost / 2.0 * (1.0 - ratio / 6.0)
     if ratio > 700.0:
         # expm1 overflow guard; the correction term vanishes and the

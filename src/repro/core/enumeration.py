@@ -124,6 +124,7 @@ def find_best_ft_plan(
     stats: ClusterStats,
     pruning: PruningConfig = PruningConfig.none(),
     exact_waste: bool = False,
+    preflight_lint: bool = True,
 ) -> SearchResult:
     """Listing 1: pick the fault-tolerant plan with the cheapest dominant path.
 
@@ -142,11 +143,20 @@ def find_best_ft_plan(
         across *all* candidate plans as suggested in Section 4.3.
     exact_waste:
         Use the exact wasted-runtime integral instead of ``t(c)/2``.
+    preflight_lint:
+        Statically validate each candidate plan (structure, costs,
+        cost-model invariants -- :mod:`repro.analysis.plan_lint`) before
+        enumerating its ``2^n`` configurations; raises
+        :class:`~repro.analysis.diagnostics.LintError` on error-severity
+        findings.  The check runs once per candidate plan, not per
+        configuration, so its cost is negligible next to the search.
 
     Raises
     ------
     ValueError
-        If ``plans`` is empty.
+        If ``plans`` is empty (or, with ``preflight_lint``, when a
+        candidate plan fails validation -- ``LintError`` is a
+        ``ValueError``).
     """
     pruning_stats = PruningStats()
     memo = DominantPathMemo()
@@ -155,6 +165,13 @@ def find_best_ft_plan(
     plan_list = list(plans)
     if not plan_list:
         raise ValueError("no candidate plans supplied")
+    if preflight_lint:
+        # deferred import: repro.analysis imports repro.core, so a
+        # top-level import here would be circular.
+        from ..analysis.plan_lint import preflight_check
+
+        for plan in plan_list:
+            preflight_check(plan, stats)
 
     for plan in plan_list:
         pruning_stats.configs_total += count_mat_configs(plan)

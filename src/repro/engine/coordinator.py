@@ -169,13 +169,26 @@ def compare_schemes(
     trace_count: int = 10,
     base_seed: int = 0,
     const_pipe: float = 1.0,
+    preflight_lint: bool = True,
 ) -> List[ComparisonRow]:
     """The full Section 5.2/5.3 measurement for one query and MTBF.
 
     Generates a shared trace set (unless one is supplied), measures every
     scheme against it, and returns overhead rows in scheme order.
+
+    ``preflight_lint`` statically validates the plan (structure, costs,
+    cost-model invariants -- see :mod:`repro.analysis.plan_lint`) before
+    any simulation and raises
+    :class:`~repro.analysis.diagnostics.LintError` on error-severity
+    findings; pass ``False`` to skip the check, e.g. when measuring a
+    deliberately-broken plan.
     """
     stats = cluster.stats(mtbf, const_pipe=const_pipe)
+    if preflight_lint:
+        # deferred import: repro.analysis imports repro.core
+        from ..analysis.plan_lint import preflight_check
+
+        preflight_check(plan, stats, plan_name=query_name)
     engine = SimulatedEngine(cluster, const_pipe=const_pipe)
     baseline = pure_baseline_runtime(plan, engine, stats)
     if traces is None:

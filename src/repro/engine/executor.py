@@ -50,6 +50,7 @@ measures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -322,7 +323,7 @@ class SimulatedEngine:
     ) -> List[_Segment]:
         """Apply the node's skew factor to its share durations."""
         factor = self.cluster.skew_of(node)
-        if factor == 1.0:
+        if math.isclose(factor, 1.0, rel_tol=1e-12, abs_tol=0.0):
             return list(segments)
         return [
             _Segment(op_id=segment.op_id, gate=segment.gate,

@@ -255,6 +255,6 @@ def empirical_mtbf(trace: FailureTrace) -> Optional[float]:
         (failures[-1] for failures in trace.node_failures if failures),
         default=0.0,
     )
-    if horizon == 0:
+    if horizon <= 0.0:
         return None
     return horizon * trace.nodes / total_failures

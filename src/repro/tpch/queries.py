@@ -788,7 +788,7 @@ def math_exp_zero_orders(sf: float) -> float:
 
 
 def _q13_physical(db: TpchDatabase) -> PhysicalOperator:
-    from ..relational.operators import Distinct, TopK
+    from ..relational.operators import TopK
 
     customers = Project(
         Scan(db["customer"]),
