@@ -5,7 +5,21 @@ pruning rules exist to make the fault-tolerant plan search fast enough
 for a cost-based optimizer.  These benchmarks time the full search
 (top-k join orders x materialization configurations) with and without
 pruning, plus the simulator and cost model in isolation.
+
+Besides the pytest-benchmark tests, the module doubles as a script::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer.py
+
+which times the fast and naive engines over a fixed slice of the TPC-H
+Q5 join-order sweep and writes ``BENCH_optimizer.json`` (wall time,
+configs/sec and speedup per engine) at the repository root.  See
+``docs/perf.md`` for how to read it.
 """
+
+import argparse
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -85,6 +99,40 @@ def test_pruning_reduces_estimated_paths(top5_plans, stats_hour):
     assert pruned.cost <= unpruned.cost * 1.01
 
 
+def test_fast_engine_q5_sweep(benchmark, top5_plans, stats_hour):
+    """The default engine over the top-5 sweep, no pruning (pure
+    enumeration throughput)."""
+    from repro.core.pruning import PruningConfig
+
+    result = benchmark(
+        find_best_ft_plan, top5_plans, stats_hour,
+        pruning=PruningConfig.none(), engine="fast",
+    )
+    assert result.pruning.configs_enumerated == 5 * 32
+
+
+def test_naive_engine_q5_sweep(benchmark, top5_plans, stats_hour):
+    """The reference engine over the identical sweep, for comparison."""
+    from repro.core.pruning import PruningConfig
+
+    result = benchmark(
+        find_best_ft_plan, top5_plans, stats_hour,
+        pruning=PruningConfig.none(), engine="naive",
+    )
+    assert result.pruning.configs_enumerated == 5 * 32
+
+
+def test_engines_agree_on_sweep(top5_plans, stats_hour):
+    from repro.core.pruning import PruningConfig
+
+    fast = find_best_ft_plan(top5_plans, stats_hour,
+                             pruning=PruningConfig.all(), engine="fast")
+    naive = find_best_ft_plan(top5_plans, stats_hour,
+                              pruning=PruningConfig.all(), engine="naive")
+    assert fast.cost == naive.cost
+    assert fast.mat_config == naive.mat_config
+
+
 def test_cost_model_throughput(benchmark, q5_plan, stats_hour):
     """One collapse + path scoring (the search's inner loop)."""
     benchmark(estimate_plan_cost, q5_plan, stats_hour)
@@ -158,3 +206,106 @@ def test_rule3_memo_variants(top5_plans, stats_hour, archive):
         f"+ Eq. 9 dominance memo:     {with_dominance} cost-model calls",
     ]))
     assert with_dominance <= without_dominance
+
+
+# ----------------------------------------------------------------------
+# script mode: the fixed Q5 sweep slice behind BENCH_optimizer.json
+# ----------------------------------------------------------------------
+def _sweep_plans(join_orders: int):
+    """A fixed slice of the Q5 join-order space (deterministic)."""
+    from repro.joinorder import enumerate_join_trees
+
+    graph = q5_join_graph(100.0)
+    params = default_parameters()
+    plans = []
+    for index, tree in enumerate(enumerate_join_trees(graph)):
+        if index >= join_orders:
+            break
+        plans.append(tree_to_plan(tree, graph, params))
+    return plans
+
+
+def _time_engine(engine, plans, stats, pruning):
+    started = time.perf_counter()
+    result = find_best_ft_plan(
+        plans, stats, pruning=pruning, engine=engine,
+        preflight_lint=False,
+    )
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def run_engine_comparison(join_orders: int = 60):
+    """Time fast vs naive over the identical sweep; verify equal results."""
+    from repro.core.pruning import PruningConfig
+
+    plans = _sweep_plans(join_orders)
+    stats = ClusterStats(mtbf=HOUR, mttr=1.0, nodes=10)
+    sweeps = []
+    for label, pruning in (("none", PruningConfig.none()),
+                           ("all", PruningConfig.all())):
+        fast, fast_s = _time_engine("fast", plans, stats, pruning)
+        naive, naive_s = _time_engine("naive", plans, stats, pruning)
+        configs = fast.pruning.configs_enumerated
+        sweeps.append({
+            "pruning": label,
+            "join_orders": len(plans),
+            "configs_enumerated": configs,
+            "equal_results": bool(
+                fast.cost == naive.cost
+                and fast.mat_config == naive.mat_config
+            ),
+            "engines": {
+                "fast": {
+                    "seconds": round(fast_s, 6),
+                    "configs_per_sec": round(configs / fast_s, 1),
+                },
+                "naive": {
+                    "seconds": round(naive_s, 6),
+                    "configs_per_sec": round(configs / naive_s, 1),
+                },
+            },
+            "speedup": round(naive_s / fast_s, 2),
+        })
+    return {
+        "benchmark": "q5_join_order_sweep",
+        "query": "Q5",
+        "scale_factor": 100.0,
+        "mtbf_seconds": HOUR,
+        "nodes": 10,
+        "sweeps": sweeps,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the fast vs naive search engines on a fixed "
+                    "slice of the TPC-H Q5 join-order sweep."
+    )
+    parser.add_argument("--join-orders", type=int, default=60,
+                        help="sweep slice size (default 60)")
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_optimizer.json",
+        help="where to write the JSON report "
+             "(default <repo>/BENCH_optimizer.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_engine_comparison(join_orders=args.join_orders)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for sweep in report["sweeps"]:
+        engines = sweep["engines"]
+        print(f"pruning={sweep['pruning']:<5s} "
+              f"fast {engines['fast']['seconds']:.3f}s "
+              f"({engines['fast']['configs_per_sec']:.0f} cfg/s)  "
+              f"naive {engines['naive']['seconds']:.3f}s "
+              f"({engines['naive']['configs_per_sec']:.0f} cfg/s)  "
+              f"speedup {sweep['speedup']:.1f}x  "
+              f"equal={sweep['equal_results']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -111,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         "advise", help="recommend a materialization configuration"
     )
     _add_cluster_arguments(advise)
+    _add_search_arguments(advise)
     advise.add_argument("--query", choices=sorted(QUERIES),
                         default="Q5", help="TPC-H query (default Q5)")
     advise.add_argument("--scale-factor", type=float, default=100.0,
@@ -120,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="measure all four schemes in the simulator"
     )
     _add_cluster_arguments(simulate)
+    _add_search_arguments(simulate)
     simulate.add_argument("--query", choices=sorted(QUERIES),
                           default="Q5")
     simulate.add_argument("--scale-factor", type=float, default=100.0)
@@ -198,6 +200,18 @@ def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
                         help="cluster size (default 10)")
 
 
+def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=["fast", "naive"],
+                        default="fast",
+                        help="configuration-search engine; both return "
+                             "identical plans, 'naive' is the slow "
+                             "reference (default fast)")
+    parser.add_argument("--parallelism", type=int, default=1,
+                        help="worker processes for the search's fan-out "
+                             "over candidate plans (fast engine only; "
+                             "default 1)")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "experiments":
@@ -235,10 +249,19 @@ def _run_advise(args) -> int:
     if args.nodes < 1:
         print("error: --nodes must be >= 1", file=sys.stderr)
         return 2
+    if args.parallelism < 1:
+        print("error: --parallelism must be >= 1", file=sys.stderr)
+        return 2
+    if args.engine == "naive" and args.parallelism > 1:
+        print("error: --parallelism requires --engine fast",
+              file=sys.stderr)
+        return 2
     params = default_parameters(nodes=args.nodes)
     plan = build_query_plan(args.query, args.scale_factor, params)
     stats = ClusterStats(mtbf=args.mtbf, mttr=args.mttr, nodes=args.nodes)
-    configured = CostBased().configure(plan, stats)
+    configured = CostBased(
+        engine=args.engine, parallelism=args.parallelism
+    ).configure(plan, stats)
     search = configured.search
 
     baseline = sum(op.runtime_cost for op in plan.operators.values())
@@ -261,11 +284,20 @@ def _run_simulate(args) -> int:
     if args.nodes < 1 or args.traces < 1:
         print("error: --nodes and --traces must be >= 1", file=sys.stderr)
         return 2
+    if args.parallelism < 1:
+        print("error: --parallelism must be >= 1", file=sys.stderr)
+        return 2
+    if args.engine == "naive" and args.parallelism > 1:
+        print("error: --parallelism requires --engine fast",
+              file=sys.stderr)
+        return 2
     params = default_parameters(nodes=args.nodes)
     plan = build_query_plan(args.query, args.scale_factor, params)
     cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
     rows = compare_schemes(
-        standard_schemes(), plan, args.query, cluster,
+        standard_schemes(engine=args.engine,
+                         parallelism=args.parallelism),
+        plan, args.query, cluster,
         mtbf=args.mtbf, trace_count=args.traces, base_seed=args.seed,
     )
     print(f"{args.query} @ SF {args.scale_factor:g}: overhead under "

@@ -30,8 +30,11 @@ from .cost_model import (
     failure_probability,
     operator_breakdown,
     operator_runtime,
+    operator_runtime_batch,
     path_cost,
+    path_cost_batch,
     path_cost_failure_free,
+    path_cost_failure_free_batch,
     success_probability,
     wasted_runtime_approx,
     wasted_runtime_exact,
@@ -47,6 +50,7 @@ from .enumeration import (
 from .optimizer import FaultTolerantOptimizer, OptimizerResult, QuerySpec
 from .paths import count_paths, enumerate_paths, path_ids, path_total_costs
 from .plan import Operator, Plan, PlanError, linear_plan
+from .search_context import SearchContext
 from .serialize import (
     dump_plan,
     load_plan,
@@ -111,6 +115,7 @@ __all__ = [
     "PruningConfig",
     "PruningStats",
     "RecoveryMode",
+    "SearchContext",
     "SearchResult",
     "apply_rule1",
     "apply_rule2",
@@ -128,8 +133,11 @@ __all__ = [
     "linear_plan",
     "operator_breakdown",
     "operator_runtime",
+    "operator_runtime_batch",
     "path_cost",
+    "path_cost_batch",
     "path_cost_failure_free",
+    "path_cost_failure_free_batch",
     "path_ids",
     "path_total_costs",
     "scheme_by_name",

@@ -29,6 +29,7 @@ non-materializing sink whose output streams to the client).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
 
@@ -117,19 +118,23 @@ class CollapsedPlan:
         return self.groups[anchor_id]
 
     def topological_order(self) -> List[int]:
-        """Anchor ids in deterministic topological order."""
+        """Anchor ids in deterministic topological order.
+
+        Heap-based Kahn frontier: smallest anchor id first, matching the
+        order of the previous sort-the-frontier implementation without
+        its quadratic re-sorting.
+        """
         in_degree = {a: len(self._producers[a]) for a in self.groups}
-        ready = sorted(a for a, deg in in_degree.items() if deg == 0)
+        ready = [a for a, deg in in_degree.items() if deg == 0]
+        heapq.heapify(ready)
         order: List[int] = []
         while ready:
-            anchor = ready.pop(0)
+            anchor = heapq.heappop(ready)
             order.append(anchor)
-            newly_ready = []
             for consumer in self._consumers[anchor]:
                 in_degree[consumer] -= 1
                 if in_degree[consumer] == 0:
-                    newly_ready.append(consumer)
-            ready = sorted(ready + newly_ready)
+                    heapq.heappush(ready, consumer)
         if len(order) != len(self.groups):
             raise PlanError("collapsed plan contains a cycle")
         return order

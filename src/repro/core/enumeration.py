@@ -10,12 +10,39 @@ This module glues the pieces together:
 * :func:`find_best_ft_plan` -- Listing 1: search over candidate plans and
   configurations for the fault-tolerant plan with the cheapest dominant
   path, with the pruning rules of Section 4 wired in.
+
+Two engines implement the search:
+
+* ``engine="fast"`` (the default) sweeps configurations through a
+  :class:`~repro.core.search_context.SearchContext`: one validation and
+  one adjacency precomputation per plan, Gray-code stepping with
+  incremental collapse, and dominant-path scoring by dynamic
+  programming.  Optionally fans out across candidate plans with a
+  process pool (``parallelism=N``), exchanging the best dominant cost
+  between workers through a shared :class:`DominantPathMemo` cell so
+  Rule 3 pruning still compounds across plans.
+* ``engine="naive"`` is the literal Listing 1 transcription -- a full
+  plan rebuild and DAG collapse per configuration.  It is kept as the
+  correctness oracle: both engines return bit-identical results
+  (``tests/test_property_enumeration.py``), the naive engine is just
+  slower (see ``benchmarks/bench_optimizer.py`` and ``docs/perf.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from . import cost_model
 from .collapse import CollapsedPlan, collapse_plan
@@ -29,8 +56,13 @@ from .pruning import (
     apply_rule1,
     apply_rule2,
 )
+from .search_context import SearchContext
 
 MatConfig = Tuple[Tuple[int, bool], ...]
+
+#: (cost, plan index, config mask) -- lexicographic comparison reproduces
+#: the naive engine's first-wins tie-breaking independent of visit order.
+_BestKey = Tuple[float, int, int]
 
 
 def enumerate_mat_configs(plan: Plan) -> Iterator[MatConfig]:
@@ -69,12 +101,17 @@ class PlanCostEstimate:
         The dominant execution path (collapsed operators).
     collapsed:
         The collapsed plan the estimate was computed on.
+    dominant_costs:
+        ``t(c)`` of each collapsed operator along the dominant path --
+        the vector Rule 3's memo consumes, threaded through so callers
+        never recompute ``path_total_costs(dominant_path)``.
     """
 
     cost: float
     failure_free_cost: float
     dominant_path: ExecutionPath
     collapsed: CollapsedPlan
+    dominant_costs: Tuple[float, ...] = ()
 
 
 def estimate_plan_cost(
@@ -98,6 +135,7 @@ def estimate_plan_cost(
                 failure_free_cost=cost_model.path_cost_failure_free(costs),
                 dominant_path=path,
                 collapsed=collapsed,
+                dominant_costs=tuple(costs),
             )
     assert best is not None  # a valid plan always has >= 1 path
     return best
@@ -119,12 +157,66 @@ class SearchResult:
         return tuple(op_id for op_id, flag in self.mat_config if flag)
 
 
+# ----------------------------------------------------------------------
+# preflight linting: cached import + per-process (plan, stats) memo
+# ----------------------------------------------------------------------
+_preflight_check: Optional[Callable[..., None]] = None
+_PREFLIGHT_SEEN: Set[Any] = set()
+_PREFLIGHT_CAPACITY = 4096
+
+
+def _load_preflight_check() -> Callable[..., None]:
+    """Import ``preflight_check`` once per process.
+
+    The import stays inside a function because ``repro.analysis`` imports
+    ``repro.core`` (a top-level import here would be circular), but it is
+    resolved a single time instead of on every search call.
+    """
+    global _preflight_check
+    if _preflight_check is None:
+        from ..analysis.plan_lint import preflight_check
+
+        _preflight_check = preflight_check
+    return _preflight_check
+
+
+def _plan_fingerprint(plan: Plan) -> Any:
+    """Hashable identity of a plan's operators, flags, costs and edges."""
+    operators = tuple(
+        (
+            op.op_id, op.name, op.runtime_cost, op.mat_cost,
+            op.materialize, op.free, op.cardinality, op.base_inputs,
+            op.state_ckpt_cost,
+        )
+        for _, op in sorted(plan.operators.items())
+    )
+    return operators, tuple(sorted(plan.edges()))
+
+
+def _preflight_once(plan: Plan, stats: ClusterStats) -> None:
+    """Run the preflight lint unless this (plan, stats) pair already passed.
+
+    The memo only remembers *clean* pairs, so a failing plan raises on
+    every call.  Capacity-capped: once full the memo resets rather than
+    growing without bound (re-linting is cheap relative to the search).
+    """
+    key = (_plan_fingerprint(plan), stats)
+    if key in _PREFLIGHT_SEEN:
+        return
+    _load_preflight_check()(plan, stats)
+    if len(_PREFLIGHT_SEEN) >= _PREFLIGHT_CAPACITY:
+        _PREFLIGHT_SEEN.clear()
+    _PREFLIGHT_SEEN.add(key)
+
+
 def find_best_ft_plan(
     plans: Iterable[Plan],
     stats: ClusterStats,
     pruning: PruningConfig = PruningConfig.none(),
     exact_waste: bool = False,
     preflight_lint: bool = True,
+    engine: str = "fast",
+    parallelism: int = 1,
 ) -> SearchResult:
     """Listing 1: pick the fault-tolerant plan with the cheapest dominant path.
 
@@ -139,7 +231,7 @@ def find_best_ft_plan(
     pruning:
         Which of the Section 4 rules to apply.  Rule 1 and 2 bind
         operators before configuration enumeration; Rule 3 short-circuits
-        path enumeration against the memoized best dominant paths, shared
+        scoring against the best dominant cost seen so far, shared
         across *all* candidate plans as suggested in Section 4.3.
     exact_waste:
         Use the exact wasted-runtime integral instead of ``t(c)/2``.
@@ -148,30 +240,62 @@ def find_best_ft_plan(
         cost-model invariants -- :mod:`repro.analysis.plan_lint`) before
         enumerating its ``2^n`` configurations; raises
         :class:`~repro.analysis.diagnostics.LintError` on error-severity
-        findings.  The check runs once per candidate plan, not per
-        configuration, so its cost is negligible next to the search.
+        findings.  The check runs once per *distinct* ``(plan, stats)``
+        pair per process (memoized), so its cost is negligible next to
+        the search.
+    engine:
+        ``"fast"`` (default) or ``"naive"``.  Both return bit-identical
+        results; the naive engine is the literal per-config
+        rebuild-and-collapse transcription kept as the correctness
+        oracle.
+    parallelism:
+        Fan the candidate plans out over ``N`` worker processes
+        (``engine="fast"`` only).  Workers exchange the best dominant
+        cost through a shared memo cell, so Rule 3 keeps compounding
+        across plans; results are identical to the serial search.
 
     Raises
     ------
     ValueError
-        If ``plans`` is empty (or, with ``preflight_lint``, when a
-        candidate plan fails validation -- ``LintError`` is a
-        ``ValueError``).
+        If ``plans`` is empty, ``engine`` is unknown, ``parallelism`` is
+        invalid (or combined with the naive engine), or -- with
+        ``preflight_lint`` -- when a candidate plan fails validation
+        (``LintError`` is a ``ValueError``).
     """
-    pruning_stats = PruningStats()
-    memo = DominantPathMemo()
-    best: Optional[SearchResult] = None
-
     plan_list = list(plans)
     if not plan_list:
         raise ValueError("no candidate plans supplied")
+    if engine not in ("fast", "naive"):
+        raise ValueError(f"unknown search engine {engine!r} "
+                         "(expected 'fast' or 'naive')")
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    if engine == "naive" and parallelism > 1:
+        raise ValueError("parallelism requires engine='fast' "
+                         "(the naive oracle is single-process)")
     if preflight_lint:
-        # deferred import: repro.analysis imports repro.core, so a
-        # top-level import here would be circular.
-        from ..analysis.plan_lint import preflight_check
-
         for plan in plan_list:
-            preflight_check(plan, stats)
+            _preflight_once(plan, stats)
+
+    if engine == "naive":
+        return _find_best_naive(plan_list, stats, pruning, exact_waste)
+    return _find_best_fast(
+        plan_list, stats, pruning, exact_waste, parallelism
+    )
+
+
+# ----------------------------------------------------------------------
+# the naive engine (correctness oracle): rebuild + collapse per config
+# ----------------------------------------------------------------------
+def _find_best_naive(
+    plan_list: Sequence[Plan],
+    stats: ClusterStats,
+    pruning: PruningConfig,
+    exact_waste: bool,
+) -> SearchResult:
+    pruning_stats = PruningStats()
+    memo = DominantPathMemo()
+    best: Optional[SearchResult] = None
 
     for plan in plan_list:
         pruning_stats.configs_total += count_mat_configs(plan)
@@ -194,11 +318,22 @@ def find_best_ft_plan(
                 exact_waste=exact_waste,
                 pruning_stats=pruning_stats,
             )
+            if outcome is None and best is None:
+                # Rule 3 can only cut off the first-ever configuration
+                # when its estimate and bestT are both infinite (some
+                # operator is unrecoverable at this MTBF); score it in
+                # full so the search still returns the first
+                # configuration, exactly like the fast engine, which
+                # never skips before a finite best exists.
+                outcome = _score_with_rule3(
+                    candidate, stats, memo,
+                    use_rule3=False,
+                    exact_waste=exact_waste,
+                    pruning_stats=pruning_stats,
+                )
             if outcome is None:
                 continue  # Rule 3 proved it cannot beat the best
-            memo.record_dominant(
-                path_total_costs(outcome.dominant_path), outcome.cost
-            )
+            memo.record_dominant(outcome.dominant_costs, outcome.cost)
             if best is None or outcome.cost < best.cost:
                 best = SearchResult(
                     plan=candidate,
@@ -244,5 +379,224 @@ def _score_with_rule3(
                 failure_free_cost=cost_model.path_cost_failure_free(costs),
                 dominant_path=path,
                 collapsed=collapsed,
+                dominant_costs=tuple(costs),
             )
     return best
+
+
+# ----------------------------------------------------------------------
+# the fast engine: search contexts, Gray-code stepping, optional fan-out
+# ----------------------------------------------------------------------
+class _SharedBest:
+    """Best dominant cost so far, optionally shared across processes.
+
+    Wraps a local :class:`DominantPathMemo` whose ``best_cost`` is the
+    Rule 3 bound; in parallel mode a ``multiprocessing.Value`` cell
+    carries the bound between workers, folded into the memo via
+    :meth:`DominantPathMemo.observe_external_best` on every read.
+    """
+
+    def __init__(self, cell: Optional[Any] = None) -> None:
+        self.memo = DominantPathMemo()
+        self._cell = cell
+
+    def get(self) -> float:
+        if self._cell is not None:
+            with self._cell.get_lock():
+                external = self._cell.value
+            self.memo.observe_external_best(external)
+        return self.memo.best_cost
+
+    def update(self, cost: float) -> None:
+        if cost < self.memo.best_cost:
+            self.memo.observe_external_best(cost)
+            if self._cell is not None:
+                with self._cell.get_lock():
+                    if cost < self._cell.value:
+                        self._cell.value = cost
+
+
+def _fast_scan_plan(
+    plan: Plan,
+    plan_index: int,
+    stats: ClusterStats,
+    pruning: PruningConfig,
+    exact_waste: bool,
+    pruning_stats: PruningStats,
+    shared: _SharedBest,
+) -> Optional[_BestKey]:
+    """Sweep one plan's configurations; return its best key (or ``None``).
+
+    Rule 3's cheap bound here is the failure-free dominant runtime
+    ``R_max`` versus the best dominant cost ``bestT``: ``R_max > bestT``
+    proves the configuration cannot win (``T >= R`` per path).  On an
+    exact tie the configuration is still scored, so the
+    ``(cost, plan, mask)`` tie-break matches the naive engine's
+    first-wins behaviour bit for bit.
+    """
+    pruning_stats.configs_total += count_mat_configs(plan)
+    pruned_plan = plan
+    if pruning.rule1:
+        pruned_plan = apply_rule1(
+            pruned_plan, stats.const_pipe, stats_out=pruning_stats
+        )
+    if pruning.rule2:
+        pruned_plan = apply_rule2(
+            pruned_plan, stats, stats_out=pruning_stats
+        )
+
+    context = SearchContext(pruned_plan, stats, exact_waste=exact_waste)
+    best: Optional[_BestKey] = None
+    for mask in context.iter_masks(order="gray"):
+        pruning_stats.configs_enumerated += 1
+        if pruning.rule3:
+            bound = shared.get()
+            r_max = context.failure_free_dominant()
+            if r_max >= bound:
+                pruning_stats.rule3_plan_cutoffs += 1
+                if r_max > bound:
+                    continue
+        total = context.dominant_cost()
+        pruning_stats.paths_estimated += 1
+        key = (total, plan_index, mask)
+        if best is None or key < best:
+            best = key
+        shared.update(total)
+    return best
+
+
+def _rebuild_result(
+    plan_list: Sequence[Plan],
+    best_key: _BestKey,
+    stats: ClusterStats,
+    pruning: PruningConfig,
+    exact_waste: bool,
+    pruning_stats: PruningStats,
+) -> SearchResult:
+    """Reconstruct the winning ``SearchResult`` from its ``(cost, plan,
+    mask)`` key by re-scoring just that one configuration through the
+    naive pipeline -- the returned estimate (cost, dominant path,
+    collapsed plan) is therefore byte-identical to the naive engine's."""
+    _, plan_index, mask = best_key
+    pruned_plan = plan_list[plan_index]
+    if pruning.rule1:
+        pruned_plan = apply_rule1(pruned_plan, stats.const_pipe)
+    if pruning.rule2:
+        pruned_plan = apply_rule2(pruned_plan, stats)
+    config = tuple(
+        (op_id, bool(mask >> bit & 1))
+        for bit, op_id in enumerate(pruned_plan.free_operators)
+    )
+    candidate = pruned_plan.with_mat_config(config)
+    estimate = estimate_plan_cost(candidate, stats, exact_waste=exact_waste)
+    return SearchResult(
+        plan=candidate,
+        mat_config=config,
+        cost=estimate.cost,
+        estimate=estimate,
+        pruning=pruning_stats,
+    )
+
+
+def _find_best_fast(
+    plan_list: Sequence[Plan],
+    stats: ClusterStats,
+    pruning: PruningConfig,
+    exact_waste: bool,
+    parallelism: int,
+) -> SearchResult:
+    pruning_stats = PruningStats()
+    workers = min(parallelism, len(plan_list))
+    best_key: Optional[_BestKey] = None
+    if workers > 1:
+        best_key = _fan_out(
+            plan_list, stats, pruning, exact_waste, workers, pruning_stats
+        )
+    else:
+        shared = _SharedBest()
+        for plan_index, plan in enumerate(plan_list):
+            local = _fast_scan_plan(
+                plan, plan_index, stats, pruning, exact_waste,
+                pruning_stats, shared,
+            )
+            if local is not None and (best_key is None or local < best_key):
+                best_key = local
+    assert best_key is not None
+    return _rebuild_result(
+        plan_list, best_key, stats, pruning, exact_waste, pruning_stats
+    )
+
+
+#: per-worker state installed by the pool initializer (fork/spawn safe)
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _pool_initializer(
+    cell: Any,
+    stats: ClusterStats,
+    pruning: PruningConfig,
+    exact_waste: bool,
+) -> None:
+    _WORKER_STATE["shared"] = _SharedBest(cell)
+    _WORKER_STATE["stats"] = stats
+    _WORKER_STATE["pruning"] = pruning
+    _WORKER_STATE["exact_waste"] = exact_waste
+
+
+def _pool_scan(
+    chunk: List[Tuple[int, Plan]],
+) -> Tuple[Optional[_BestKey], PruningStats]:
+    shared = _WORKER_STATE["shared"]
+    stats = _WORKER_STATE["stats"]
+    pruning = _WORKER_STATE["pruning"]
+    exact_waste = _WORKER_STATE["exact_waste"]
+    worker_stats = PruningStats()
+    best: Optional[_BestKey] = None
+    for plan_index, plan in chunk:
+        local = _fast_scan_plan(
+            plan, plan_index, stats, pruning, exact_waste,
+            worker_stats, shared,
+        )
+        if local is not None and (best is None or local < best):
+            best = local
+    return best, worker_stats
+
+
+def _fan_out(
+    plan_list: Sequence[Plan],
+    stats: ClusterStats,
+    pruning: PruningConfig,
+    exact_waste: bool,
+    workers: int,
+    pruning_stats: PruningStats,
+) -> Optional[_BestKey]:
+    """Strided process-pool fan-out over candidate plans.
+
+    Chunks keep global plan indices so the merged best key -- the
+    lexicographic minimum over ``(cost, plan, mask)`` -- is independent
+    of how plans were distributed or how the shared bound propagated.
+    Only ``PruningStats``' Rule 3 counters are timing-dependent.
+    """
+    import multiprocessing
+
+    indexed = list(enumerate(plan_list))
+    chunks = [indexed[offset::workers] for offset in range(workers)]
+    chunks = [chunk for chunk in chunks if chunk]
+    cell = multiprocessing.Value("d", float("inf"))
+    best_key: Optional[_BestKey] = None
+    pool = multiprocessing.Pool(
+        processes=len(chunks),
+        initializer=_pool_initializer,
+        initargs=(cell, stats, pruning, exact_waste),
+    )
+    try:
+        for worker_best, worker_stats in pool.map(_pool_scan, chunks):
+            pruning_stats.merge(worker_stats)
+            if worker_best is not None and (
+                best_key is None or worker_best < best_key
+            ):
+                best_key = worker_best
+    finally:
+        pool.close()
+        pool.join()
+    return best_key

@@ -83,6 +83,11 @@ class FaultTolerantOptimizer:
         Which Section 4 rules phase 2 applies.
     exact_waste:
         Use the exact wasted-runtime integral instead of ``t(c)/2``.
+    engine:
+        Phase-2 search engine (``"fast"`` or ``"naive"``); see
+        :func:`~repro.core.enumeration.find_best_ft_plan`.
+    parallelism:
+        Worker processes for phase 2's fan-out over the top-k plans.
     """
 
     def __init__(
@@ -91,6 +96,8 @@ class FaultTolerantOptimizer:
         top_k: int = 5,
         pruning: PruningConfig = PruningConfig.all(),
         exact_waste: bool = False,
+        engine: str = "fast",
+        parallelism: int = 1,
     ) -> None:
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
@@ -98,6 +105,8 @@ class FaultTolerantOptimizer:
         self.top_k = top_k
         self.pruning = pruning
         self.exact_waste = exact_waste
+        self.engine = engine
+        self.parallelism = parallelism
 
     # ------------------------------------------------------------------
     def candidate_plans(
@@ -123,6 +132,8 @@ class FaultTolerantOptimizer:
             plans, stats,
             pruning=self.pruning,
             exact_waste=self.exact_waste,
+            engine=self.engine,
+            parallelism=self.parallelism,
         )
         chosen_rank = self._identify_chosen(plans, search)
         return OptimizerResult(
@@ -138,6 +149,7 @@ class FaultTolerantOptimizer:
             [plan], stats,
             pruning=self.pruning,
             exact_waste=self.exact_waste,
+            engine=self.engine,
         )
 
     @staticmethod

@@ -22,6 +22,7 @@ setting used in all of the paper's experiments) cost units equal seconds.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -220,20 +221,24 @@ class Plan:
     # traversal
     # ------------------------------------------------------------------
     def topological_order(self) -> List[int]:
-        """Operator ids in a deterministic topological order (Kahn)."""
+        """Operator ids in a deterministic topological order (Kahn).
+
+        The ready frontier is a min-heap, so the smallest-id operator is
+        released first -- the same order the previous sort-the-frontier
+        implementation produced, at ``O(V log V + E)`` instead of
+        ``O(V^2 log V)``.
+        """
         in_degree = {op_id: len(self._producers[op_id]) for op_id in self.operators}
-        ready = sorted(op_id for op_id, deg in in_degree.items() if deg == 0)
+        ready = [op_id for op_id, deg in in_degree.items() if deg == 0]
+        heapq.heapify(ready)
         order: List[int] = []
         while ready:
-            op_id = ready.pop(0)
+            op_id = heapq.heappop(ready)
             order.append(op_id)
-            newly_ready = []
             for consumer_id in self._consumers[op_id]:
                 in_degree[consumer_id] -= 1
                 if in_degree[consumer_id] == 0:
-                    newly_ready.append(consumer_id)
-            # keep determinism: merge new ids in sorted position
-            ready = sorted(ready + newly_ready)
+                    heapq.heappush(ready, consumer_id)
         if len(order) != len(self.operators):
             raise PlanError("plan contains a cycle")
         return order

@@ -1,0 +1,405 @@
+"""Incremental search context for fast materialization-configuration sweeps.
+
+The naive search (``find_best_ft_plan``'s ``engine="naive"`` path)
+rebuilds a full :class:`~repro.core.plan.Plan` via ``with_mat_config``
+for every one of the ``2^n`` configurations -- re-running the cycle check
+per edge -- and then re-collapses the whole DAG from scratch.  This
+module holds the per-plan state that makes the sweep cheap instead:
+
+* **validate once** -- plan validation, topological order,
+  producer/consumer adjacency and the free-operator index are computed a
+  single time and reused for every configuration;
+* **bitmask configs** -- a configuration is an integer mask over
+  ``free_ids``; no plan copies are made during the sweep;
+* **incremental collapse** -- stepping between configurations in
+  Gray-code order flips exactly one operator, and only the collapsed
+  groups whose membership can change are recomputed (plus a cache keyed
+  by ``(anchor, members, m(anchor))`` so revisited group states are
+  free);
+* **exact scoring by DP** -- the dominant-path cost is a longest-path
+  dynamic program over the collapsed DAG instead of enumerating every
+  source-to-sink path.
+
+Exactness
+---------
+The context is *bit-identical* to the naive pipeline, not merely close:
+
+* Group construction replicates ``collapse_plan`` operation for
+  operation (same member BFS, same longest-path DP with the same
+  ``max``/tie-break, same ``CONST_pipe`` application), so every
+  ``t(c)`` equals the naive value bit-for-bit.
+* A path cost in the naive engine is a left-fold ``sum`` of ``T(c)``.
+  The DP computes ``pre[c] = max(pre[producer]) + T(c)`` with
+  ``pre[source] = T(source)``, which performs the additions in the same
+  order as the left fold for whichever path realizes the maximum; since
+  float addition of non-negative terms is monotone, the DP maximum over
+  sinks equals the maximum over all enumerated path sums bit-for-bit.
+* ``T(c)`` values come from a memoized *scalar*
+  :func:`~repro.core.cost_model.operator_runtime` cache rather than the
+  NumPy batch kernel: ``np.exp``/``np.log``/``np.expm1`` differ from
+  ``math.*`` in the last ulp for a few percent of inputs, which would
+  break oracle equality in engineered ties (see
+  :func:`~repro.core.cost_model.operator_runtime_batch`).
+
+Incremental-collapse invariants (single-bit flip of operator ``o``):
+
+* ``o`` becomes materialized: exactly the groups that previously
+  contained ``o`` shrink, and ``o`` gains a group of its own.
+* ``o`` stops materializing: exactly the groups containing a consumer
+  of ``o`` absorb ``o`` (and its non-materialized ancestry), and ``o``'s
+  own group disappears -- unless ``o`` is a sink, which stays an anchor
+  with ``tm = 0``.
+* In both directions every other group's members *and* collapsed
+  in-edges are provably unchanged, because group membership depends only
+  on the flags of the group's own ancestry and every producer outside a
+  group is materialized by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from . import cost_model
+from .collapse import CollapsedOperator, CollapsedPlan
+from .cost_model import ClusterStats
+from .plan import Plan
+
+#: mirrors ``enumeration.MatConfig`` (kept local to avoid an import cycle)
+MatConfig = Tuple[Tuple[int, bool], ...]
+
+#: cached group state: the collapsed operator plus its in-edge anchors
+_GroupState = Tuple[CollapsedOperator, Tuple[int, ...]]
+
+
+class SearchContext:
+    """Mutable per-plan state for enumerating materialization configs.
+
+    Parameters
+    ----------
+    plan:
+        The candidate plan (validated once, never mutated; its current
+        ``m(o)`` flags seed the context state).
+    stats:
+        Cluster statistics; supplies ``CONST_pipe`` for collapsing and
+        the cost-model inputs for scoring.
+    exact_waste:
+        Use the exact wasted-runtime integral when scoring.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        stats: ClusterStats,
+        exact_waste: bool = False,
+    ) -> None:
+        plan.validate()
+        self.plan = plan
+        self.stats = stats
+        self.exact_waste = exact_waste
+        self._const_pipe = stats.const_pipe
+
+        self._topo: List[int] = plan.topological_order()
+        self._producers: Dict[int, Tuple[int, ...]] = {
+            op_id: tuple(plan.producers(op_id)) for op_id in self._topo
+        }
+        self._consumers: Dict[int, Tuple[int, ...]] = {
+            op_id: tuple(plan.consumers(op_id)) for op_id in self._topo
+        }
+        self._runtime: Dict[int, float] = {
+            op_id: plan[op_id].runtime_cost for op_id in self._topo
+        }
+        self._mat: Dict[int, float] = {
+            op_id: plan[op_id].mat_cost for op_id in self._topo
+        }
+        self._sinks = frozenset(plan.sinks)
+        self.free_ids: Tuple[int, ...] = tuple(plan.free_operators)
+        self._flags: Dict[int, bool] = {
+            op_id: plan[op_id].materialize for op_id in self._topo
+        }
+        self.mask: int = sum(
+            1 << bit
+            for bit, op_id in enumerate(self.free_ids)
+            if self._flags[op_id]
+        )
+
+        # incremental collapse state
+        self._groups: Dict[int, CollapsedOperator] = {}
+        self._group_in: Dict[int, Tuple[int, ...]] = {}
+        #: original op -> anchors whose group currently contains it
+        self._membership: Dict[int, Set[int]] = {
+            op_id: set() for op_id in self._topo
+        }
+        self._group_cache: Dict[
+            Tuple[int, Tuple[int, ...], bool], _GroupState
+        ] = {}
+
+        # collapsed-DAG traversal cache (invalidated on every flip)
+        self._order_dirty = True
+        self._collapsed_order: List[int] = []
+        self._collapsed_inner: Set[int] = set()
+
+        #: memoized scalar T(c) per distinct t(c) (bit-identical to naive)
+        self._runtime_cache: Dict[float, float] = {}
+
+        for op_id in self._topo:
+            if self._flags[op_id] or op_id in self._sinks:
+                self._rebuild_group(op_id)
+
+    # ------------------------------------------------------------------
+    # configuration stepping
+    # ------------------------------------------------------------------
+    def config_for(self, mask: int) -> MatConfig:
+        """The ``(op_id, flag)`` tuple a bitmask denotes (naive order)."""
+        return tuple(
+            (op_id, bool(mask >> bit & 1))
+            for bit, op_id in enumerate(self.free_ids)
+        )
+
+    def set_mask(self, mask: int) -> None:
+        """Jump to an arbitrary configuration, flipping only changed bits."""
+        if not 0 <= mask < (1 << len(self.free_ids)):
+            raise ValueError(f"mask {mask} out of range for "
+                             f"{len(self.free_ids)} free operators")
+        diff = self.mask ^ mask
+        while diff:
+            bit = (diff & -diff).bit_length() - 1
+            self._flip(self.free_ids[bit])
+            diff &= diff - 1
+        self.mask = mask
+
+    def iter_masks(self, order: str = "gray") -> Iterator[int]:
+        """Step through all ``2^n`` configurations, updating state in place.
+
+        ``order="gray"`` flips exactly one operator per step (fastest);
+        ``order="sequential"`` visits masks in the naive engine's
+        counting order (about two flips per step on average), for
+        callers whose accounting depends on enumeration order (the
+        Figure 13 experiment).  Scoring methods always reflect the last
+        yielded mask.
+        """
+        total = 1 << len(self.free_ids)
+        if order == "gray":
+            self.set_mask(0)
+            yield 0
+            gray = 0
+            for index in range(1, total):
+                next_gray = index ^ (index >> 1)
+                bit = (gray ^ next_gray).bit_length() - 1
+                self._flip(self.free_ids[bit])
+                gray = next_gray
+                self.mask = gray
+                yield gray
+        elif order == "sequential":
+            for mask in range(total):
+                self.set_mask(mask)
+                yield mask
+        else:
+            raise ValueError(f"unknown iteration order {order!r}")
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def failure_free_dominant(self) -> float:
+        """``R_max`` -- the most expensive path's failure-free runtime."""
+        return self._dominant_total(failure_free=True)
+
+    def dominant_cost(self) -> float:
+        """``T_max`` -- the dominant path's runtime under failures.
+
+        Equals ``estimate_plan_cost(plan.with_mat_config(...), ...).cost``
+        bit-for-bit (see the module docstring).
+        """
+        return self._dominant_total(failure_free=False)
+
+    def _dominant_total(self, failure_free: bool) -> float:
+        self._refresh_order()
+        groups = self._groups
+        group_in = self._group_in
+        cache = self._runtime_cache
+        inner = self._collapsed_inner
+        prefix: Dict[int, float] = {}
+        best: Optional[float] = None
+        for anchor in self._collapsed_order:
+            total = groups[anchor].total_cost
+            if failure_free:
+                value = total
+            else:
+                cached = cache.get(total)
+                if cached is None:
+                    cached = cost_model.operator_runtime(
+                        total, self.stats, exact_waste=self.exact_waste
+                    )
+                    cache[total] = cached
+                value = cached
+            incoming = group_in[anchor]
+            if incoming:
+                value = max(prefix[p] for p in incoming) + value
+            prefix[anchor] = value
+            if anchor not in inner:  # a collapsed sink ends a path
+                if best is None or value > best:
+                    best = value
+        assert best is not None  # a valid plan always has >= 1 path
+        return best
+
+    # ------------------------------------------------------------------
+    # collapsed-plan export (for callers that enumerate paths themselves)
+    # ------------------------------------------------------------------
+    def build_collapsed(self) -> CollapsedPlan:
+        """Materialize the current state as a real :class:`CollapsedPlan`.
+
+        Group and edge *sets* are identical to
+        ``collapse_plan(plan.with_mat_config(...))``; path enumeration,
+        sources/sinks and topological order sort their frontiers, so
+        downstream consumers see exactly the order the naive pipeline
+        produces.
+        """
+        collapsed = CollapsedPlan()
+        for anchor in sorted(self._groups):
+            collapsed.add_group(self._groups[anchor])
+        for anchor in sorted(self._groups):
+            for producer in self._group_in[anchor]:
+                collapsed.add_edge(producer, anchor)
+        return collapsed
+
+    # ------------------------------------------------------------------
+    # incremental collapse
+    # ------------------------------------------------------------------
+    def _flip(self, op_id: int) -> None:
+        """Toggle ``m(op_id)`` and repair exactly the affected groups."""
+        becoming_materialized = not self._flags[op_id]
+        if becoming_materialized:
+            # groups that contained o shrink; o anchors a new group
+            affected = [
+                anchor for anchor in self._membership[op_id]
+                if anchor != op_id
+            ]
+            self._flags[op_id] = True
+            self._rebuild_group(op_id)
+        else:
+            # groups holding a consumer of o absorb o's ancestry
+            affected_set: Set[int] = set()
+            for consumer in self._consumers[op_id]:
+                affected_set.update(self._membership[consumer])
+            affected_set.discard(op_id)
+            affected = sorted(affected_set)
+            self._flags[op_id] = False
+            if op_id in self._sinks:
+                self._rebuild_group(op_id)  # stays an anchor, tm -> 0
+            else:
+                self._drop_group(op_id)
+        for anchor in affected:
+            self._rebuild_group(anchor)
+        self._order_dirty = True
+
+    def _rebuild_group(self, anchor: int) -> None:
+        old = self._groups.get(anchor)
+        if old is not None:
+            for member in old.members:
+                self._membership[member].discard(anchor)
+        members = self._members_of(anchor)
+        key = (anchor, members, self._flags[anchor])
+        cached = self._group_cache.get(key)
+        if cached is None:
+            dominant_path, path_runtime = self._dominant_path(members, anchor)
+            pipe = self._const_pipe if len(dominant_path) > 1 else 1.0
+            mat_cost = self._mat[anchor] if self._flags[anchor] else 0.0
+            group = CollapsedOperator(
+                anchor_id=anchor,
+                members=frozenset(members),
+                runtime_cost=path_runtime * pipe,
+                mat_cost=mat_cost,
+                dominant_path=tuple(dominant_path),
+            )
+            member_set = frozenset(members)
+            group_in = tuple(sorted(
+                {
+                    producer
+                    for member in members
+                    for producer in self._producers[member]
+                } - member_set
+            ))
+            cached = (group, group_in)
+            self._group_cache[key] = cached
+        group, group_in = cached
+        self._groups[anchor] = group
+        self._group_in[anchor] = group_in
+        for member in group.members:
+            self._membership[member].add(anchor)
+        self._order_dirty = True
+
+    def _drop_group(self, anchor: int) -> None:
+        old = self._groups.pop(anchor)
+        for member in old.members:
+            self._membership[member].discard(anchor)
+        del self._group_in[anchor]
+        self._order_dirty = True
+
+    def _members_of(self, anchor: int) -> Tuple[int, ...]:
+        """``coll(anchor)`` under the current flags (sorted ids)."""
+        members = [anchor]
+        visited = {anchor}
+        stack = [
+            p for p in self._producers[anchor] if not self._flags[p]
+        ]
+        while stack:
+            current = stack.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            members.append(current)
+            stack.extend(
+                p for p in self._producers[current] if not self._flags[p]
+            )
+        return tuple(sorted(members))
+
+    def _dominant_path(
+        self, members: Tuple[int, ...], anchor: int
+    ) -> Tuple[List[int], float]:
+        """Longest path to the anchor; mirrors ``collapse._dominant_path``."""
+        member_set = set(members)
+        best_cost: Dict[int, float] = {}
+        best_pred: Dict[int, int] = {}
+        for op_id in self._topo:
+            if op_id not in member_set:
+                continue
+            internal = [
+                p for p in self._producers[op_id] if p in member_set
+            ]
+            incoming = max(
+                (best_cost[p] for p in internal), default=0.0
+            )
+            best_cost[op_id] = incoming + self._runtime[op_id]
+            if internal:
+                best_pred[op_id] = max(
+                    internal, key=lambda p: (best_cost[p], p)
+                )
+        path = [anchor]
+        while path[-1] in best_pred:
+            path.append(best_pred[path[-1]])
+        path.reverse()
+        return path, best_cost[anchor]
+
+    # ------------------------------------------------------------------
+    # collapsed-DAG traversal cache
+    # ------------------------------------------------------------------
+    def _refresh_order(self) -> None:
+        """Recompute the collapsed traversal order after flips.
+
+        No Kahn pass is needed: a collapsed edge ``producer -> anchor``
+        implies ``producer`` is a plan-level ancestor of the anchor (it
+        produces one of the anchor's members), so the *plan's*
+        topological order restricted to the current anchors is already a
+        valid topological order of the collapsed DAG.  Collapsed sinks
+        are the anchors no group lists as an input.
+        """
+        if not self._order_dirty:
+            return
+        groups = self._groups
+        self._collapsed_order = [
+            op_id for op_id in self._topo if op_id in groups
+        ]
+        inner: Set[int] = set()
+        for incoming in self._group_in.values():
+            inner.update(incoming)
+        self._collapsed_inner = inner
+        self._order_dirty = False

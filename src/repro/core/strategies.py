@@ -116,15 +116,21 @@ class CostBased(FaultToleranceScheme):
         self,
         pruning: PruningConfig = PruningConfig.all(),
         exact_waste: bool = False,
+        engine: str = "fast",
+        parallelism: int = 1,
     ) -> None:
         self.pruning = pruning
         self.exact_waste = exact_waste
+        self.engine = engine
+        self.parallelism = parallelism
 
     def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
         result = find_best_ft_plan(
             [plan], stats,
             pruning=self.pruning,
             exact_waste=self.exact_waste,
+            engine=self.engine,
+            parallelism=self.parallelism,
         )
         return ConfiguredPlan(
             plan=result.plan,
@@ -164,8 +170,16 @@ class CostBasedWithOpCheckpoints(CostBased):
 
 
 #: The scheme line-up of the paper's evaluation, in its reporting order.
-def standard_schemes() -> "list[FaultToleranceScheme]":
-    return [AllMat(), NoMatLineage(), NoMatRestart(), CostBased()]
+def standard_schemes(
+    engine: str = "fast", parallelism: int = 1
+) -> "list[FaultToleranceScheme]":
+    """``engine``/``parallelism`` configure the cost-based search only."""
+    return [
+        AllMat(),
+        NoMatLineage(),
+        NoMatRestart(),
+        CostBased(engine=engine, parallelism=parallelism),
+    ]
 
 
 def scheme_by_name(name: str) -> FaultToleranceScheme:

@@ -25,11 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..core.collapse import CollapsedPlan
 from ..core.cost_model import ClusterStats
-from ..core.enumeration import (
-    count_mat_configs,
-    enumerate_mat_configs,
-)
+from ..core.enumeration import count_mat_configs
 from ..core.failure import DAY, HOUR, WEEK
 from ..core.paths import enumerate_paths, path_total_costs
 from ..core.plan import Plan
@@ -38,7 +36,7 @@ from ..core.pruning import (
     apply_rule1,
     apply_rule2,
 )
-from ..core.collapse import collapse_plan
+from ..core.search_context import SearchContext
 from ..joinorder import enumerate_join_trees, q5_join_graph, tree_to_plan
 from .common import DEFAULT_MTTR, DEFAULT_NODES, default_params_for
 
@@ -150,10 +148,10 @@ def _rule3_pruned(
         if pre_bind:
             search_plan = apply_rule2(apply_rule1(plan, stats.const_pipe),
                                       stats)
-        for config in enumerate_mat_configs(search_plan):
-            candidate = search_plan.with_mat_config(config)
+        context = SearchContext(search_plan, stats)
+        for _ in context.iter_masks(order="sequential"):
             fired_cheap, dominant_costs, dominant_total = _scan_paths(
-                candidate, stats, memo
+                context.build_collapsed(), stats, memo
             )
             if fired_cheap:
                 cutoffs += 1
@@ -162,7 +160,9 @@ def _rule3_pruned(
     return 0.5 * cutoffs
 
 
-def _scan_paths(plan: Plan, stats: ClusterStats, memo: DominantPathMemo):
+def _scan_paths(
+    collapsed: CollapsedPlan, stats: ClusterStats, memo: DominantPathMemo
+):
     """Enumerate paths with Rule 3 checks; mirror the search inner loop.
 
     Returns ``(fired_cheap, dominant_costs, dominant_total)``.  Following
@@ -171,7 +171,6 @@ def _scan_paths(plan: Plan, stats: ClusterStats, memo: DominantPathMemo):
     dominance test avoid calling the cost function at all, whereas the
     ``T_Pt >= bestT`` check already paid for the estimate.
     """
-    collapsed = collapse_plan(plan, const_pipe=stats.const_pipe)
     dominant_costs = None
     dominant_total = -1.0
     for path in enumerate_paths(collapsed):
@@ -196,10 +195,10 @@ def _all_rules_pruned(plans: Sequence[Plan], stats: ClusterStats) -> float:
         bound_plan = apply_rule2(apply_rule1(plan, stats.const_pipe), stats)
         after = count_mat_configs(bound_plan)
         pruned += before - after
-        for config in enumerate_mat_configs(bound_plan):
-            candidate = bound_plan.with_mat_config(config)
+        context = SearchContext(bound_plan, stats)
+        for _ in context.iter_masks(order="sequential"):
             fired_cheap, dominant_costs, dominant_total = _scan_paths(
-                candidate, stats, memo
+                context.build_collapsed(), stats, memo
             )
             if fired_cheap:
                 pruned += 0.5

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..core.strategies import standard_schemes
 from ..engine.cluster import Cluster
 from ..engine.coordinator import pure_baseline_runtime
 from ..engine.executor import SimulatedEngine
@@ -48,11 +49,19 @@ def run(
     nodes: int = DEFAULT_NODES,
     trace_count: int = 10,
     base_seed: int = 800,
+    engine_name: str = "fast",
+    parallelism: int = 1,
 ) -> Fig8Result:
-    """Measure both Figure 8 panels."""
+    """Measure both Figure 8 panels.
+
+    ``engine_name``/``parallelism`` select the cost-based scheme's
+    search engine (results are engine-independent; see
+    :func:`repro.core.enumeration.find_best_ft_plan`).
+    """
     params = default_params_for(nodes)
     cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
     engine = SimulatedEngine(cluster)
+    schemes = standard_schemes(engine=engine_name, parallelism=parallelism)
 
     low_cells: List[OverheadCell] = []
     high_cells: List[OverheadCell] = []
@@ -66,10 +75,12 @@ def run(
         low_cells.extend(run_overhead_comparison(
             plan, query_name, mtbf=1.1 * baseline,
             nodes=nodes, trace_count=trace_count, base_seed=base_seed,
+            schemes=schemes,
         ))
         high_cells.extend(run_overhead_comparison(
             plan, query_name, mtbf=10.0 * baseline,
             nodes=nodes, trace_count=trace_count, base_seed=base_seed + 1,
+            schemes=schemes,
         ))
     return Fig8Result(
         low_mtbf_cells=tuple(low_cells),

@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.cost_model import ClusterStats
-from ..core.enumeration import enumerate_mat_configs, estimate_plan_cost
 from ..core.failure import HOUR
 from ..core.plan import Plan
+from ..core.search_context import SearchContext
 from ..stats.perturbation import (
     PAPER_FACTORS,
     PerturbationKind,
@@ -60,14 +60,22 @@ class Tab3Result:
         )
 
 
-def _ranking(plan: Plan, stats: ClusterStats) -> List[MatConfigKey]:
+def _ranking(
+    plan: Plan, stats: ClusterStats
+) -> List[Tuple[float, MatConfigKey]]:
+    """All configurations with their estimated runtime, cheapest first.
+
+    Scored through a :class:`SearchContext` sweep (one incremental
+    collapse per configuration); the stable sort keeps equal-cost
+    configurations in enumeration order, exactly like the previous
+    per-config rebuild did.
+    """
+    context = SearchContext(plan, stats)
     scored = []
-    for config in enumerate_mat_configs(plan):
-        candidate = plan.with_mat_config(config)
-        estimate = estimate_plan_cost(candidate, stats)
-        scored.append((estimate.cost, config))
+    for mask in context.iter_masks(order="sequential"):
+        scored.append((context.dominant_cost(), context.config_for(mask)))
     scored.sort(key=lambda item: item[0])
-    return [config for _, config in scored]
+    return scored
 
 
 def run(
@@ -80,14 +88,12 @@ def run(
     plan = build_query_plan("Q5", scale_factor, params)
     stats = ClusterStats(mtbf=mtbf, mttr=DEFAULT_MTTR, nodes=nodes)
 
-    baseline_ranking = _ranking(plan, stats)
+    baseline_scored = _ranking(plan, stats)
+    baseline_ranking = [config for _, config in baseline_scored]
+    baseline_costs = [cost for cost, _ in baseline_scored]
     position_of: Dict[MatConfigKey, int] = {
         config: index + 1 for index, config in enumerate(baseline_ranking)
     }
-    baseline_costs = []
-    for config in baseline_ranking:
-        estimate = estimate_plan_cost(plan.with_mat_config(config), stats)
-        baseline_costs.append(estimate.cost)
 
     rows: List[Tab3Row] = []
     for kind in PerturbationKind:
@@ -100,7 +106,7 @@ def run(
                 factor=factor,
                 top5_baseline_positions=tuple(
                     position_of[config]
-                    for config in perturbed_ranking[:5]
+                    for _, config in perturbed_ranking[:5]
                 ),
             ))
     return Tab3Result(

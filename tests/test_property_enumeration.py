@@ -1,0 +1,177 @@
+"""Fast engine == naive engine, bit for bit, on randomized plans.
+
+The fast search engine (Gray-code stepping over a
+:class:`~repro.core.search_context.SearchContext`) claims *exact*
+equivalence with the naive Listing 1 transcription -- not approximate:
+same best cost float, same winning configuration, same dominant path,
+and the same Rule 1/2 pruning counters.  This property suite drives both
+engines over several hundred randomized DAG plans, cluster statistics
+and pruning configurations, and compares with ``==`` throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core import (
+    ClusterStats,
+    Operator,
+    Plan,
+    PruningConfig,
+    find_best_ft_plan,
+    path_ids,
+)
+
+MTBF_CHOICES = (30.0, 120.0, 3600.0, 86400.0, 604800.0)
+
+
+def random_dag_plan(rng: random.Random) -> Plan:
+    """A connected-enough random DAG: edges only go from lower to higher
+    op ids, so acyclicity holds by construction."""
+    n = rng.randint(3, 9)
+    plan = Plan()
+    for op_id in range(1, n + 1):
+        free = rng.random() < 0.75
+        plan.add_operator(Operator(
+            op_id=op_id,
+            name=f"op{op_id}",
+            runtime_cost=rng.uniform(0.5, 120.0),
+            mat_cost=rng.uniform(0.1, 80.0),
+            materialize=(not free) and rng.random() < 0.5,
+            free=free,
+            base_inputs=rng.choice((0, 0, 1, 2)),
+        ))
+    for consumer in range(2, n + 1):
+        # at least one producer for most non-initial operators keeps the
+        # plans DAG-shaped rather than a bag of singletons
+        producers = [p for p in range(1, consumer) if rng.random() < 0.45]
+        if not producers and rng.random() < 0.8:
+            producers = [rng.randint(1, consumer - 1)]
+        for producer in producers:
+            plan.add_edge(producer, consumer)
+    return plan
+
+
+def random_stats(rng: random.Random) -> ClusterStats:
+    return ClusterStats(
+        mtbf=rng.choice(MTBF_CHOICES) * rng.uniform(0.5, 2.0),
+        mttr=rng.choice((0.0, 1.0, rng.uniform(0.0, 30.0))),
+        nodes=rng.randint(1, 20),
+        const_pipe=rng.choice((1.0, 1.0, rng.uniform(0.3, 1.0))),
+        success_percentile=rng.uniform(0.5, 0.99),
+        scale_mtbf_by_nodes=rng.random() < 0.2,
+    )
+
+
+def random_pruning(rng: random.Random) -> PruningConfig:
+    return PruningConfig(
+        rule1=rng.random() < 0.5,
+        rule2=rng.random() < 0.5,
+        rule3=rng.random() < 0.5,
+    )
+
+
+def assert_engines_agree(
+    plans: List[Plan],
+    stats: ClusterStats,
+    pruning: PruningConfig,
+    exact_waste: bool,
+    parallelism: int = 1,
+) -> None:
+    fast = find_best_ft_plan(
+        plans, stats, pruning=pruning, exact_waste=exact_waste,
+        preflight_lint=False, engine="fast", parallelism=parallelism,
+    )
+    naive = find_best_ft_plan(
+        plans, stats, pruning=pruning, exact_waste=exact_waste,
+        preflight_lint=False, engine="naive",
+    )
+    # the headline results are exactly -- not approximately -- equal
+    assert fast.cost == naive.cost
+    assert fast.mat_config == naive.mat_config
+    assert fast.materialized_ids == naive.materialized_ids
+    assert (path_ids(fast.estimate.dominant_path)
+            == path_ids(naive.estimate.dominant_path))
+    assert (fast.estimate.dominant_costs
+            == naive.estimate.dominant_costs)
+    assert (fast.estimate.failure_free_cost
+            == naive.estimate.failure_free_cost)
+    # the winning plan carries identical materialization flags
+    assert (
+        {o: plan_op.materialize
+         for o, plan_op in fast.plan.operators.items()}
+        == {o: plan_op.materialize
+            for o, plan_op in naive.plan.operators.items()}
+    )
+    # Rule 1/2 bind the same operators and both engines visit every
+    # configuration the eager rules left alive
+    assert fast.pruning.rule1_marked == naive.pruning.rule1_marked
+    assert fast.pruning.rule2_marked == naive.pruning.rule2_marked
+    assert fast.pruning.configs_total == naive.pruning.configs_total
+    assert (fast.pruning.configs_enumerated
+            == naive.pruning.configs_enumerated)
+
+
+class TestFastEngineEquivalence:
+    def test_single_plan_randomized(self):
+        """>= 200 randomized (plan, stats, pruning) triples."""
+        rng = random.Random(0xFA57)
+        for _trial in range(220):
+            plan = random_dag_plan(rng)
+            stats = random_stats(rng)
+            pruning = random_pruning(rng)
+            exact_waste = rng.random() < 0.3
+            assert_engines_agree([plan], stats, pruning, exact_waste)
+
+    def test_multi_plan_candidate_lists(self):
+        """Rule 3's memo spans plans; the engines must still agree."""
+        rng = random.Random(0xBEEF)
+        for _trial in range(40):
+            plans = [random_dag_plan(rng)
+                     for _ in range(rng.randint(2, 4))]
+            stats = random_stats(rng)
+            assert_engines_agree(
+                plans, stats, PruningConfig.all(), exact_waste=False
+            )
+
+    def test_all_rules_stress(self):
+        """All three rules on, exact waste on -- the hardest codepath."""
+        rng = random.Random(0xD00D)
+        for _trial in range(40):
+            plan = random_dag_plan(rng)
+            stats = random_stats(rng)
+            assert_engines_agree(
+                [plan], stats, PruningConfig.all(), exact_waste=True
+            )
+
+    def test_parallel_fan_out_matches_naive(self):
+        """The process-pool fan-out returns the identical winner."""
+        rng = random.Random(0xC0DE)
+        for _trial in range(3):
+            plans = [random_dag_plan(rng) for _ in range(3)]
+            stats = random_stats(rng)
+            assert_engines_agree(
+                plans, stats, PruningConfig.all(), exact_waste=False,
+                parallelism=2,
+            )
+
+    def test_naive_rejects_parallelism(self):
+        rng = random.Random(1)
+        plan = random_dag_plan(rng)
+        with pytest.raises(ValueError, match="parallelism"):
+            find_best_ft_plan(
+                [plan], ClusterStats(mtbf=3600.0), engine="naive",
+                parallelism=2, preflight_lint=False,
+            )
+
+    def test_unknown_engine_rejected(self):
+        rng = random.Random(2)
+        plan = random_dag_plan(rng)
+        with pytest.raises(ValueError, match="engine"):
+            find_best_ft_plan(
+                [plan], ClusterStats(mtbf=3600.0), engine="turbo",
+                preflight_lint=False,
+            )

@@ -1,0 +1,164 @@
+"""Units behind the fast engine: SearchContext + batched cost model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    ClusterStats,
+    SearchContext,
+    collapse_plan,
+    enumerate_mat_configs,
+    estimate_plan_cost,
+    find_best_ft_plan,
+    operator_runtime,
+    operator_runtime_batch,
+    path_cost,
+    path_cost_batch,
+    path_cost_failure_free,
+    path_cost_failure_free_batch,
+)
+from repro.core import enumeration as enumeration_module
+
+
+class TestBatchCostModel:
+    """NumPy batch API mirrors the scalar Equation 2-8 functions."""
+
+    @pytest.mark.parametrize("exact_waste", [False, True])
+    def test_operator_runtime_batch_matches_scalar(
+        self, stats_hour, exact_waste
+    ):
+        totals = [0.0, 0.5, 3.0, 60.0, 3599.0, 3600.0, 7200.0, 1e-9,
+                  40000.0, 2.6e6]
+        batch = operator_runtime_batch(
+            totals, stats_hour, exact_waste=exact_waste
+        )
+        for total, got in zip(totals, batch):
+            want = operator_runtime(
+                total, stats_hour, exact_waste=exact_waste
+            )
+            assert got == pytest.approx(want, rel=1e-12, abs=1e-12)
+
+    def test_operator_runtime_batch_unreachable_is_inf(self):
+        stats = ClusterStats(mtbf=1.0)
+        assert math.isinf(operator_runtime_batch([1e5], stats)[0])
+        assert math.isinf(operator_runtime(1e5, stats))
+
+    def test_operator_runtime_batch_validates(self, stats_hour):
+        with pytest.raises(ValueError):
+            operator_runtime_batch([-1.0], stats_hour)
+
+    def test_path_cost_batch_matches_scalar(self, stats_hour):
+        paths = [[3.0, 4.0, 5.0], [100.0], [], [0.5, 2000.0]]
+        batch = path_cost_batch(paths, stats_hour)
+        for path, got in zip(paths, batch):
+            assert got == pytest.approx(
+                path_cost(path, stats_hour), rel=1e-12, abs=1e-12
+            )
+
+    def test_failure_free_batch_is_bit_identical(self):
+        paths = [[0.1, 0.2, 0.3], [1e16, 1.0, -0.0], []]
+        batch = path_cost_failure_free_batch(paths)
+        for path, got in zip(paths, batch):
+            assert got == path_cost_failure_free(path)  # exact
+
+
+class TestSearchContext:
+    def _assert_same_collapse(self, built, reference):
+        assert set(built.groups) == set(reference.groups)
+        for anchor, group in reference.groups.items():
+            mine = built[anchor]
+            assert mine.members == group.members
+            assert mine.runtime_cost == group.runtime_cost
+            assert mine.mat_cost == group.mat_cost
+            assert mine.dominant_path == group.dominant_path
+            assert (sorted(built.producers(anchor))
+                    == sorted(reference.producers(anchor)))
+            assert (sorted(built.consumers(anchor))
+                    == sorted(reference.consumers(anchor)))
+
+    def test_incremental_collapse_matches_collapse_plan(
+        self, paper_plan, stats_hour
+    ):
+        """Every configuration, visited by Gray-code single-bit flips,
+        produces the same collapsed plan as a from-scratch collapse."""
+        context = SearchContext(paper_plan, stats_hour)
+        seen = []
+        for mask in context.iter_masks(order="gray"):
+            seen.append(mask)
+            config = context.config_for(mask)
+            reference = collapse_plan(
+                paper_plan.with_mat_config(config),
+                const_pipe=stats_hour.const_pipe,
+            )
+            self._assert_same_collapse(context.build_collapsed(), reference)
+        total = 2 ** len(paper_plan.free_operators)
+        assert sorted(seen) == list(range(total))  # every mask, once
+
+    def test_scores_match_estimate_plan_cost(self, paper_plan, stats_hour):
+        context = SearchContext(paper_plan, stats_hour)
+        for mask in context.iter_masks(order="sequential"):
+            candidate = paper_plan.with_mat_config(context.config_for(mask))
+            estimate = estimate_plan_cost(candidate, stats_hour)
+            assert context.dominant_cost() == estimate.cost  # exact
+            assert (context.failure_free_dominant()
+                    == max(
+                        path_cost_failure_free(costs)
+                        for costs in _all_path_costs(candidate, stats_hour)
+                    ))
+
+    def test_config_for_matches_enumerate_mat_configs(
+        self, paper_plan, stats_hour
+    ):
+        context = SearchContext(paper_plan, stats_hour)
+        expected = list(enumerate_mat_configs(paper_plan))
+        got = [context.config_for(mask)
+               for mask in range(2 ** len(paper_plan.free_operators))]
+        assert got == expected
+
+    def test_sequential_order_is_mask_ascending(self, chain_plan, stats_hour):
+        context = SearchContext(chain_plan, stats_hour)
+        masks = list(context.iter_masks(order="sequential"))
+        assert masks == list(range(2 ** len(chain_plan.free_operators)))
+
+    def test_set_mask_bounds(self, chain_plan, stats_hour):
+        context = SearchContext(chain_plan, stats_hour)
+        with pytest.raises(ValueError):
+            context.set_mask(-1)
+        with pytest.raises(ValueError):
+            context.set_mask(2 ** len(chain_plan.free_operators))
+
+    def test_unknown_iteration_order_rejected(self, chain_plan, stats_hour):
+        context = SearchContext(chain_plan, stats_hour)
+        with pytest.raises(ValueError):
+            list(context.iter_masks(order="random"))
+
+
+class TestPreflightMemo:
+    def test_preflight_runs_once_per_plan_and_stats(
+        self, paper_plan, stats_hour, monkeypatch
+    ):
+        calls = []
+        monkeypatch.setattr(
+            enumeration_module, "_preflight_check",
+            lambda plan, stats: calls.append(1),
+        )
+        monkeypatch.setattr(
+            enumeration_module, "_PREFLIGHT_SEEN", set()
+        )
+        find_best_ft_plan([paper_plan], stats_hour)
+        find_best_ft_plan([paper_plan], stats_hour)
+        assert len(calls) == 1
+        # a different ClusterStats is a different memo key
+        other = ClusterStats(mtbf=stats_hour.mtbf * 2.0)
+        find_best_ft_plan([paper_plan], other)
+        assert len(calls) == 2
+
+
+def _all_path_costs(plan, stats):
+    from repro.core import enumerate_paths, path_total_costs
+
+    collapsed = collapse_plan(plan, const_pipe=stats.const_pipe)
+    return [path_total_costs(path) for path in enumerate_paths(collapsed)]
