@@ -106,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    _add_jobs_argument(experiments)
 
     advise = sub.add_parser(
         "advise", help="recommend a materialization configuration"
@@ -128,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--traces", type=int, default=10,
                           help="failure traces per run (default 10)")
     simulate.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(simulate)
 
     workload = sub.add_parser(
         "workload",
@@ -137,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--queries", type=int, default=10,
                           help="workload size (default 10)")
     workload.add_argument("--seed", type=int, default=7)
+    _add_jobs_argument(workload)
 
     replay = sub.add_parser(
         "replay",
@@ -200,6 +203,13 @@ def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
                         help="cluster size (default 10)")
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation "
+                             "campaign; results are identical to the "
+                             "serial run (default 1)")
+
+
 def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", choices=["fast", "naive"],
                         default="fast",
@@ -236,11 +246,21 @@ def _run_experiments(args) -> int:
         for name, (_, _, description) in sorted(EXPERIMENTS.items()):
             print(f"{name:<7s} {description}")
         return 0
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    import inspect
+
     names: List[str] = [args.only] if args.only else sorted(EXPERIMENTS)
     for name in names:
         run, format_table, description = EXPERIMENTS[name]
+        # campaign-backed experiments fan out; the others ignore --jobs
+        kwargs = (
+            {"jobs": args.jobs}
+            if "jobs" in inspect.signature(run).parameters else {}
+        )
         print(f"=== {name}: {description} ===")
-        print(format_table(run()))
+        print(format_table(run(**kwargs)))
         print()
     return 0
 
@@ -284,8 +304,9 @@ def _run_simulate(args) -> int:
     if args.nodes < 1 or args.traces < 1:
         print("error: --nodes and --traces must be >= 1", file=sys.stderr)
         return 2
-    if args.parallelism < 1:
-        print("error: --parallelism must be >= 1", file=sys.stderr)
+    if args.parallelism < 1 or args.jobs < 1:
+        print("error: --parallelism and --jobs must be >= 1",
+              file=sys.stderr)
         return 2
     if args.engine == "naive" and args.parallelism > 1:
         print("error: --parallelism requires --engine fast",
@@ -296,9 +317,11 @@ def _run_simulate(args) -> int:
     cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
     rows = compare_schemes(
         standard_schemes(engine=args.engine,
-                         parallelism=args.parallelism),
+                         parallelism=args.parallelism,
+                         preflight_lint=False),
         plan, args.query, cluster,
         mtbf=args.mtbf, trace_count=args.traces, base_seed=args.seed,
+        jobs=args.jobs,
     )
     print(f"{args.query} @ SF {args.scale_factor:g}: overhead under "
           f"failures ({args.traces} traces, MTBF {args.mtbf:.0f}s, "
@@ -316,6 +339,9 @@ def _run_workload(args) -> int:
         print("error: --nodes and --queries must be >= 1",
               file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     from .workloads import (
         compare_workload,
         format_comparison,
@@ -325,7 +351,7 @@ def _run_workload(args) -> int:
     workload = generate_mixed_workload(count=args.queries, seed=args.seed)
     cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
     runs = compare_workload(workload, cluster, mtbf=args.mtbf,
-                            seed=args.seed)
+                            seed=args.seed, jobs=args.jobs)
     print(f"{len(workload)} queries back-to-back "
           f"(MTBF {args.mtbf:.0f}s, {args.nodes} nodes):")
     print(format_comparison(runs))

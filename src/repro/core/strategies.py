@@ -118,17 +118,23 @@ class CostBased(FaultToleranceScheme):
         exact_waste: bool = False,
         engine: str = "fast",
         parallelism: int = 1,
+        preflight_lint: bool = True,
     ) -> None:
         self.pruning = pruning
         self.exact_waste = exact_waste
         self.engine = engine
         self.parallelism = parallelism
+        # False skips the search's static pre-check -- used by callers
+        # (e.g. simulation campaigns) that already linted the plan once
+        # up front instead of once per worker process
+        self.preflight_lint = preflight_lint
 
     def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
         result = find_best_ft_plan(
             [plan], stats,
             pruning=self.pruning,
             exact_waste=self.exact_waste,
+            preflight_lint=self.preflight_lint,
             engine=self.engine,
             parallelism=self.parallelism,
         )
@@ -171,14 +177,17 @@ class CostBasedWithOpCheckpoints(CostBased):
 
 #: The scheme line-up of the paper's evaluation, in its reporting order.
 def standard_schemes(
-    engine: str = "fast", parallelism: int = 1
+    engine: str = "fast", parallelism: int = 1,
+    preflight_lint: bool = True,
 ) -> "list[FaultToleranceScheme]":
-    """``engine``/``parallelism`` configure the cost-based search only."""
+    """``engine``/``parallelism``/``preflight_lint`` configure the
+    cost-based search only."""
     return [
         AllMat(),
         NoMatLineage(),
         NoMatRestart(),
-        CostBased(engine=engine, parallelism=parallelism),
+        CostBased(engine=engine, parallelism=parallelism,
+                  preflight_lint=preflight_lint),
     ]
 
 

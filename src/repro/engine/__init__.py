@@ -7,22 +7,37 @@ overheads under each fault-tolerance scheme.
 """
 
 from .adaptive import AdaptiveExecutor, AdaptiveResult, Reconfiguration
+from .campaign import CampaignCell, CellResult, campaign_map, run_campaign
 from .cluster import Cluster
 from .coordinator import (
     ComparisonRow,
     execute_with_extension,
+    run_with_extension,
     SchemeMeasurement,
     compare_schemes,
     measure_scheme,
     pure_baseline_runtime,
 )
-from .executor import ExecutionResult, SimulatedEngine, TraceExhausted
+from .executor import (
+    ExecutionResult,
+    PreparedExecution,
+    SimulatedEngine,
+    TraceExhausted,
+)
 from .reference import ReferenceEngine
 from .storage import FaultTolerantStorage, LocalStorage, StorageMedium
-from .timeline import Event, EventKind, NodeInterval, Timeline, node_intervals
+from .timeline import (
+    Event,
+    EventKind,
+    MutedTimeline,
+    NodeInterval,
+    Timeline,
+    node_intervals,
+)
 from .viz import render_gantt, render_line_chart, render_overhead_bars
 from .traces import (
     FailureTrace,
+    cached_trace_set,
     generate_weibull_trace,
     empirical_mtbf,
     extend_trace,
@@ -33,6 +48,8 @@ from .traces import (
 __all__ = [
     "AdaptiveExecutor",
     "AdaptiveResult",
+    "CampaignCell",
+    "CellResult",
     "Cluster",
     "Reconfiguration",
     "ComparisonRow",
@@ -42,15 +59,21 @@ __all__ = [
     "FailureTrace",
     "FaultTolerantStorage",
     "LocalStorage",
+    "MutedTimeline",
     "NodeInterval",
     "ReferenceEngine",
     "SchemeMeasurement",
     "SimulatedEngine",
     "StorageMedium",
     "Timeline",
+    "PreparedExecution",
     "TraceExhausted",
+    "cached_trace_set",
+    "campaign_map",
     "compare_schemes",
     "execute_with_extension",
+    "run_with_extension",
+    "run_campaign",
     "empirical_mtbf",
     "extend_trace",
     "generate_trace",

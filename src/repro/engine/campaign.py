@@ -1,0 +1,365 @@
+"""Declarative simulation campaigns: parallel, cached, bit-identical.
+
+The Section 5 measurement protocol is a *grid*: every experiment walks
+(query x scheme x MTBF x trace set) cells and simulates each cell over
+the same shared failure traces.  Before this module each experiment kept
+its own serial loop, re-collapsed the plan inside every ``execute()``
+call and regenerated failure traces per call site.  A campaign makes the
+grid explicit and executes it fast:
+
+* **Declarative cells.**  A :class:`CampaignCell` names one
+  (plan, MTBF, CONST_pipe, trace protocol) measurement plus the scheme
+  line-up (or pre-configured plans) to measure against the shared trace
+  set.  :func:`run_campaign` turns a list of cells into a flat list of
+  :class:`CellResult` rows, ordered by (cell, scheme) -- the merge order
+  is deterministic and independent of how work was scheduled.
+* **Process-pool fan-out.**  ``jobs=N`` stripes the (cell, scheme) units
+  over ``N`` worker processes; ``jobs=1`` is a plain serial loop over
+  the identical unit function.  Results are guaranteed **bit-identical**
+  across job counts: every unit derives its trace set from the same
+  ``(nodes, mtbf, horizon, count, base_seed)`` key, horizon extensions
+  are prefix-stable, and per-process caches only memoize deterministic
+  pure functions.
+* **Hot-path caches.**  Each unit reuses one
+  :class:`~repro.engine.executor.PreparedExecution` across all of its
+  traces (collapse/topology/lineage costs computed once, not per run),
+  shares trace sets through :func:`~repro.engine.traces.cached_trace_set`
+  and the memoized :func:`~repro.engine.coordinator.pure_baseline_runtime`.
+
+``campaign_map`` exposes the bare deterministic fan-out for experiment
+loops that are not trace-driven simulations (e.g. Table 3's perturbation
+rankings, the workload runner's per-scheme runs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar,
+)
+
+from ..core.plan import Plan
+from ..core.strategies import (
+    ConfiguredPlan,
+    FaultToleranceScheme,
+    standard_schemes,
+)
+from .cluster import Cluster
+from .coordinator import (
+    _default_horizon,
+    pure_baseline_runtime,
+    run_with_extension,
+)
+from .executor import SimulatedEngine
+from .traces import FailureTrace, cached_trace_set
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: the paper's protocol: 10 traces per unique MTBF
+DEFAULT_TRACE_COUNT = 10
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (plan, MTBF, trace protocol) measurement of a sweep grid.
+
+    Parameters
+    ----------
+    label:
+        Identifier echoed into every result row (e.g. the query name).
+    plan:
+        The costed plan to measure.
+    mtbf:
+        Per-node mean time between failures for the cell's trace set.
+    schemes:
+        Fault-tolerance schemes to measure against the shared traces;
+        empty means the paper's four standard schemes.
+    configured:
+        Alternative to ``schemes``: measure these already-configured
+        plans instead (used by Figure 12's per-configuration sweep).
+    trace_count / base_seed:
+        The trace protocol -- ``count`` seeded traces ``base_seed + i``.
+    const_pipe:
+        ``CONST_pipe`` for both the cost model and the simulator.
+    horizon:
+        Trace horizon; ``None`` derives the default from the baseline
+        (traces are extended on demand either way, so this only sets the
+        starting size -- measured runtimes are horizon-independent).
+    traces:
+        Explicit trace set overriding generation entirely.
+    baseline:
+        Precomputed pure-baseline runtime; ``None`` measures (or recalls
+        the memo of) the failure-free no-mat run.
+    """
+
+    label: str
+    plan: Plan
+    mtbf: float
+    schemes: Tuple[FaultToleranceScheme, ...] = ()
+    configured: Tuple[ConfiguredPlan, ...] = ()
+    trace_count: int = DEFAULT_TRACE_COUNT
+    base_seed: int = 0
+    const_pipe: float = 1.0
+    horizon: Optional[float] = None
+    traces: Optional[Tuple[FailureTrace, ...]] = None
+    baseline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0:
+            raise ValueError("mtbf must be > 0")
+        if self.trace_count < 1:
+            raise ValueError("trace_count must be >= 1")
+        if self.schemes and self.configured:
+            raise ValueError("a cell takes schemes or configured "
+                             "plans, not both")
+
+    def targets(self) -> Tuple[Any, ...]:
+        """The measurement targets, in reporting order."""
+        if self.configured:
+            return self.configured
+        if self.schemes:
+            return self.schemes
+        # campaign preflight already linted the plan once up front, so
+        # the default cost-based search skips the per-worker re-lint
+        return tuple(standard_schemes(preflight_lint=False))
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (cell, scheme) row of a campaign, in the shape of the paper's
+    overhead figures plus the raw per-trace runtimes."""
+
+    cell_index: int
+    label: str
+    scheme: str
+    mtbf: float
+    const_pipe: float
+    baseline: float                       #: pure runtime, no failures
+    runtimes: Tuple[float, ...]           #: per-trace finished runtimes
+    aborted_runs: int                     #: runs that hit the limit
+    materialized_ids: Tuple[int, ...]     #: free ops the target chose
+
+    @property
+    def mean_runtime(self) -> float:
+        """Mean runtime over *finished* runs (inf when all aborted)."""
+        if not self.runtimes:
+            return float("inf")
+        return sum(self.runtimes) / len(self.runtimes)
+
+    @property
+    def overhead(self) -> float:
+        """Overhead fraction: ``mean_runtime / baseline - 1``."""
+        if not self.runtimes:
+            return float("inf")
+        return self.mean_runtime / self.baseline - 1.0
+
+    @property
+    def overhead_percent(self) -> float:
+        overhead = self.overhead
+        return overhead * 100.0 if math.isfinite(overhead) else float("inf")
+
+    @property
+    def all_aborted(self) -> bool:
+        return not self.runtimes and self.aborted_runs > 0
+
+
+def _measure_unit(
+    cell: CampaignCell,
+    cell_index: int,
+    target_index: int,
+    cluster: Cluster,
+) -> CellResult:
+    """Measure one (cell, target) unit -- the campaign's parallel grain.
+
+    Pure given its arguments: every cache it touches (trace sets,
+    baselines, prepared plans) memoizes a deterministic function, so a
+    unit computes the same row in any process at any time.
+    """
+    stats = cluster.stats(cell.mtbf, const_pipe=cell.const_pipe)
+    # nobody reads the event logs of campaign runs -- mute them
+    engine = SimulatedEngine(cluster, const_pipe=cell.const_pipe,
+                             record_events=False)
+    baseline = cell.baseline
+    if baseline is None:
+        baseline = pure_baseline_runtime(cell.plan, engine, stats)
+    if cell.traces is not None:
+        traces: List[FailureTrace] = list(cell.traces)
+    else:
+        horizon = cell.horizon
+        if horizon is None:
+            horizon = _default_horizon(baseline, cell.mtbf, cluster)
+        traces = cached_trace_set(
+            cluster.nodes, cell.mtbf, horizon,
+            count=cell.trace_count, base_seed=cell.base_seed,
+        )
+    target = cell.targets()[target_index]
+    if isinstance(target, ConfiguredPlan):
+        configured = target
+    else:
+        configured = target.configure(cell.plan, stats)
+    prepared = engine.prepare(configured)
+    runtimes: List[float] = []
+    aborted = 0
+    for index, trace in enumerate(traces):
+        result, extended = run_with_extension(engine, prepared, trace)
+        if extended is not trace:
+            # write the extension back so the next target on this trace
+            # set (and other sharers of the cache entry) reuse it
+            traces[index] = extended
+        if result.aborted:
+            aborted += 1
+        else:
+            runtimes.append(result.runtime)
+    materialized = tuple(
+        op_id for op_id, op in configured.plan.operators.items()
+        if op.materialize and cell.plan[op_id].free
+    )
+    return CellResult(
+        cell_index=cell_index,
+        label=cell.label,
+        scheme=configured.scheme,
+        mtbf=cell.mtbf,
+        const_pipe=cell.const_pipe,
+        baseline=baseline,
+        runtimes=tuple(runtimes),
+        aborted_runs=aborted,
+        materialized_ids=materialized,
+    )
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing (worker state installed once per worker)
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _campaign_init(cells: Sequence[CampaignCell], cluster: Cluster) -> None:
+    _WORKER_STATE["cells"] = cells
+    _WORKER_STATE["cluster"] = cluster
+
+
+def _campaign_chunk(chunk: Sequence[Tuple[int, int]]) -> List[CellResult]:
+    return [
+        _measure_unit(
+            _WORKER_STATE["cells"][cell_index], cell_index, target_index,
+            _WORKER_STATE["cluster"],
+        )
+        for cell_index, target_index in chunk
+    ]
+
+
+def _preflight_cells(
+    cells: Sequence[CampaignCell], cluster: Cluster
+) -> None:
+    """Statically validate every distinct (plan, stats) pair exactly once.
+
+    Running the lint up front -- instead of per worker inside the
+    cost-based search -- keeps the workers purely computational and
+    reports a broken plan before any process is forked.
+    """
+    # deferred imports: repro.analysis imports repro.core
+    from ..analysis.plan_lint import preflight_check
+    from ..core.enumeration import _plan_fingerprint
+
+    seen = set()
+    for cell in cells:
+        stats = cluster.stats(cell.mtbf, const_pipe=cell.const_pipe)
+        key = (_plan_fingerprint(cell.plan), stats)
+        if key in seen:
+            continue
+        preflight_check(cell.plan, stats, plan_name=cell.label)
+        seen.add(key)
+
+
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    cluster: Cluster,
+    jobs: int = 1,
+    preflight_lint: bool = True,
+) -> List[CellResult]:
+    """Execute a sweep grid; results ordered by (cell, target).
+
+    ``jobs=1`` (the default) runs the units serially in the calling
+    process; ``jobs=N`` fans them out over ``N`` worker processes.  Both
+    paths run the same unit function over the same unit list and merge
+    in unit order, so the output is exactly equal either way.
+
+    ``preflight_lint`` statically validates each distinct plan once up
+    front (raising :class:`~repro.analysis.diagnostics.LintError` on
+    error findings) rather than per worker.
+    """
+    cells = list(cells)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if preflight_lint:
+        _preflight_cells(cells, cluster)
+    units = [
+        (cell_index, target_index)
+        for cell_index, cell in enumerate(cells)
+        for target_index in range(len(cell.targets()))
+    ]
+    workers = min(jobs, len(units))
+    if workers <= 1:
+        return [
+            _measure_unit(cells[cell_index], cell_index, target_index,
+                          cluster)
+            for cell_index, target_index in units
+        ]
+    # Parallel grain: one chunk per *cell* when there are enough cells to
+    # keep every worker busy -- a cell's targets share its trace set, and
+    # process-local caches only pay off when they run in the same worker.
+    # With fewer cells than workers, fall back to one chunk per unit so a
+    # single big cell still fans out.
+    if len(cells) >= workers:
+        chunks: List[List[Tuple[int, int]]] = [[] for _ in cells]
+        for unit in units:
+            chunks[unit[0]].append(unit)
+    else:
+        chunks = [[unit] for unit in units]
+    import multiprocessing
+
+    pool = multiprocessing.Pool(
+        processes=workers,
+        initializer=_campaign_init,
+        initargs=(cells, cluster),
+    )
+    try:
+        # pool.map preserves chunk order regardless of scheduling, and
+        # chunks follow unit order, so the merge equals the serial list
+        results = pool.map(_campaign_chunk, chunks)
+    finally:
+        pool.close()
+        pool.join()
+    return [result for chunk_results in results for result in chunk_results]
+
+
+def campaign_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    jobs: int = 1,
+) -> List[_R]:
+    """Deterministic ordered fan-out: ``list(map(fn, items))``, optionally
+    over a process pool.
+
+    The generic primitive behind :func:`run_campaign`, exposed for
+    experiment loops that are not trace-set simulations (perturbation
+    rankings, per-scheme workload runs).  ``fn`` must be picklable (a
+    module-level function) when ``jobs > 1``; results always merge in
+    item order, so job count never changes the output.
+    """
+    items = list(items)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    workers = min(jobs, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    import multiprocessing
+
+    pool = multiprocessing.Pool(processes=workers)
+    try:
+        return pool.map(fn, items)
+    finally:
+        pool.close()
+        pool.join()

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import (
+    Any, Dict, List, MutableSequence, Optional, Sequence, Tuple, Union,
+)
 
 from ..core.cost_model import ClusterStats
 from ..core.plan import Plan
@@ -23,8 +25,13 @@ from ..core.strategies import (
     NoMatLineage,
 )
 from .cluster import Cluster
-from .executor import ExecutionResult, SimulatedEngine, TraceExhausted
-from .traces import FailureTrace, extend_trace, generate_trace_set
+from .executor import (
+    ExecutionResult,
+    PreparedExecution,
+    SimulatedEngine,
+    TraceExhausted,
+)
+from .traces import FailureTrace, extend_trace
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,13 @@ class SchemeMeasurement:
         return not self.runtimes and self.aborted_runs > 0
 
 
+# ----------------------------------------------------------------------
+# baseline memo: (plan fingerprint, cluster, CONST_pipe) -> runtime
+# ----------------------------------------------------------------------
+_BASELINE_MEMO: Dict[Any, float] = {}
+_BASELINE_CAPACITY = 1024
+
+
 def pure_baseline_runtime(
     plan: Plan, engine: SimulatedEngine, stats: ClusterStats
 ) -> float:
@@ -73,9 +87,28 @@ def pure_baseline_runtime(
     Implemented as a failure-free run of the no-mat configuration (bound
     always-materialized operators keep their cost -- the engine pays them
     under every scheme).
+
+    Memoized per process, keyed by the plan's structural fingerprint plus
+    the engine's cluster and ``CONST_pipe`` -- everything the failure-free
+    no-mat runtime depends on (``stats`` does not enter it: the no-mat
+    configuration ignores the statistics and no failures are replayed).
+    Call sites that measure several schemes for the same (plan, cluster)
+    therefore pay for exactly one baseline run.  Capacity-capped like the
+    preflight memo: once full it resets rather than growing unboundedly.
     """
+    # deferred import: repro.core.enumeration must not import the engine
+    from ..core.enumeration import _plan_fingerprint
+
+    key = (_plan_fingerprint(plan), engine.cluster, engine.const_pipe)
+    cached = _BASELINE_MEMO.get(key)
+    if cached is not None:
+        return cached
     configured = NoMatLineage().configure(plan, stats)
-    return engine.execute(configured).runtime
+    runtime = engine.execute(configured).runtime
+    if len(_BASELINE_MEMO) >= _BASELINE_CAPACITY:
+        _BASELINE_MEMO.clear()
+    _BASELINE_MEMO[key] = runtime
+    return runtime
 
 
 def measure_scheme(
@@ -95,10 +128,16 @@ def measure_scheme(
     if baseline is None:
         baseline = pure_baseline_runtime(plan, engine, stats)
     configured = scheme.configure(plan, stats)
+    prepared = engine.prepare(configured)
     runtimes: List[float] = []
     aborted = 0
-    for trace in traces:
-        result = _execute_extending(engine, configured, trace)
+    writeback = isinstance(traces, MutableSequence)
+    for index, trace in enumerate(traces):
+        result, extended = run_with_extension(engine, prepared, trace)
+        if writeback and extended is not trace:
+            # hand the extended trace back so later schemes (and other
+            # sharers of a cached set) don't redo the extension work
+            traces[index] = extended
         if result.aborted:
             aborted += 1
         else:
@@ -116,27 +155,48 @@ def measure_scheme(
     )
 
 
-def execute_with_extension(
+def run_with_extension(
     engine: SimulatedEngine,
-    configured: ConfiguredPlan,
+    target: Union[ConfiguredPlan, PreparedExecution],
     trace: FailureTrace,
     max_extensions: int = 20,
-) -> ExecutionResult:
-    """Run one trace, transparently extending its horizon when needed.
+) -> Tuple[ExecutionResult, FailureTrace]:
+    """Run one trace, extending its horizon when needed; return both.
 
     Extension regenerates from the same seed, so the failure prefix the
     run already consumed is unchanged -- the result is identical to
-    having generated a longer trace up front.
+    having generated a longer trace up front.  The (possibly extended)
+    trace is returned so callers can write it back into a shared trace
+    set instead of re-extending on every scheme.
+
+    ``target`` may be a :class:`ConfiguredPlan` (prepared here once) or
+    an already-prepared :class:`PreparedExecution`.
     """
+    prepared = (
+        target if isinstance(target, PreparedExecution)
+        else engine.prepare(target)
+    )
     for _ in range(max_extensions):
         try:
-            return engine.execute(configured, trace)
+            return engine.execute_prepared(prepared, trace), trace
         except TraceExhausted:
             trace = extend_trace(trace, trace.horizon * 4)
     raise TraceExhausted(
         "query did not finish within the maximum trace extension; "
         "the configuration likely cannot make progress at this MTBF"
     )
+
+
+def execute_with_extension(
+    engine: SimulatedEngine,
+    configured: Union[ConfiguredPlan, PreparedExecution],
+    trace: FailureTrace,
+    max_extensions: int = 20,
+) -> ExecutionResult:
+    """:func:`run_with_extension` without the trace (compat wrapper)."""
+    result, _ = run_with_extension(engine, configured, trace,
+                                   max_extensions=max_extensions)
+    return result
 
 
 #: backwards-compatible private alias
@@ -170,11 +230,21 @@ def compare_schemes(
     base_seed: int = 0,
     const_pipe: float = 1.0,
     preflight_lint: bool = True,
+    jobs: int = 1,
+    baseline: Optional[float] = None,
 ) -> List[ComparisonRow]:
     """The full Section 5.2/5.3 measurement for one query and MTBF.
 
     Generates a shared trace set (unless one is supplied), measures every
-    scheme against it, and returns overhead rows in scheme order.
+    scheme against it, and returns overhead rows in scheme order.  The
+    measurement is one single-cell campaign
+    (:func:`repro.engine.campaign.run_campaign`): ``jobs > 1`` fans the
+    schemes out over worker processes with results guaranteed identical
+    to the serial run.
+
+    ``baseline`` short-circuits the pure-baseline measurement when the
+    caller already computed it (it is also memoized per process, see
+    :func:`pure_baseline_runtime`).
 
     ``preflight_lint`` statically validates the plan (structure, costs,
     cost-model invariants -- see :mod:`repro.analysis.plan_lint`) before
@@ -183,35 +253,33 @@ def compare_schemes(
     findings; pass ``False`` to skip the check, e.g. when measuring a
     deliberately-broken plan.
     """
-    stats = cluster.stats(mtbf, const_pipe=const_pipe)
-    if preflight_lint:
-        # deferred import: repro.analysis imports repro.core
-        from ..analysis.plan_lint import preflight_check
+    # deferred import: campaign builds on this module
+    from .campaign import CampaignCell, run_campaign
 
-        preflight_check(plan, stats, plan_name=query_name)
-    engine = SimulatedEngine(cluster, const_pipe=const_pipe)
-    baseline = pure_baseline_runtime(plan, engine, stats)
-    if traces is None:
-        horizon = _default_horizon(baseline, mtbf, cluster)
-        traces = generate_trace_set(
-            cluster.nodes, mtbf, horizon,
-            count=trace_count, base_seed=base_seed,
+    cell = CampaignCell(
+        label=query_name,
+        plan=plan,
+        mtbf=mtbf,
+        schemes=tuple(schemes),
+        trace_count=trace_count,
+        base_seed=base_seed,
+        const_pipe=const_pipe,
+        traces=tuple(traces) if traces is not None else None,
+        baseline=baseline,
+    )
+    results = run_campaign(
+        [cell], cluster, jobs=jobs, preflight_lint=preflight_lint
+    )
+    return [
+        ComparisonRow(
+            query=query_name,
+            scheme=result.scheme,
+            overhead_percent=result.overhead_percent,
+            aborted=result.all_aborted,
+            materialized_ids=result.materialized_ids,
         )
-    rows = []
-    for scheme in schemes:
-        measurement = measure_scheme(
-            scheme, plan, engine, stats, traces, baseline=baseline
-        )
-        rows.append(
-            ComparisonRow(
-                query=query_name,
-                scheme=scheme.name,
-                overhead_percent=measurement.overhead_percent,
-                aborted=measurement.all_aborted,
-                materialized_ids=measurement.materialized_ids,
-            )
-        )
-    return rows
+        for result in results
+    ]
 
 
 def _default_horizon(baseline: float, mtbf: float, cluster: Cluster) -> float:

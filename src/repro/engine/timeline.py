@@ -92,6 +92,26 @@ class Timeline:
         return "\n".join(str(event) for event in events)
 
 
+class MutedTimeline(Timeline):
+    """A timeline that discards every event.
+
+    Event construction is a visible fraction of simulation time, and
+    measurement-only consumers (the campaign engine aggregates runtimes,
+    never events) pay it for nothing -- a muted timeline keeps the run's
+    control flow and results identical while skipping the log.
+    """
+
+    def record(
+        self,
+        time: float,
+        kind: EventKind,
+        group: Optional[int] = None,
+        node: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        pass
+
+
 @dataclass(frozen=True)
 class NodeInterval:
     """A contiguous span of work a node spent on a group share.

@@ -16,11 +16,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.plan import Plan
-from ..core.strategies import FaultToleranceScheme, standard_schemes
+from ..core.strategies import FaultToleranceScheme
+from ..engine.campaign import CampaignCell, CellResult, run_campaign
 from ..engine.cluster import Cluster
-from ..engine.coordinator import measure_scheme, pure_baseline_runtime
-from ..engine.executor import SimulatedEngine
-from ..engine.traces import FailureTrace, generate_trace_set
 from ..stats.calibration import DEFAULT_NODES, default_parameters
 from ..stats.estimates import CostParameters
 
@@ -47,6 +45,42 @@ class OverheadCell:
         return f"{self.overhead_percent:.0f}%"
 
 
+def overhead_cell(result: CellResult) -> OverheadCell:
+    """Convert one campaign row into the experiments' reporting shape."""
+    return OverheadCell(
+        query=result.label,
+        scheme=result.scheme,
+        mtbf=result.mtbf,
+        baseline=result.baseline,
+        overhead_percent=result.overhead_percent,
+        aborted=result.all_aborted,
+        materialized_ids=result.materialized_ids,
+    )
+
+
+def comparison_cell(
+    plan: Plan,
+    query_name: str,
+    mtbf: float,
+    trace_count: int = DEFAULT_TRACES,
+    base_seed: int = 0,
+    schemes: Optional[Sequence[FaultToleranceScheme]] = None,
+    traces: Optional[Sequence] = None,
+    baseline: Optional[float] = None,
+) -> CampaignCell:
+    """One grid cell of the standard protocol, ready for a campaign."""
+    return CampaignCell(
+        label=query_name,
+        plan=plan,
+        mtbf=mtbf,
+        schemes=tuple(schemes) if schemes is not None else (),
+        trace_count=trace_count,
+        base_seed=base_seed,
+        traces=tuple(traces) if traces is not None else None,
+        baseline=baseline,
+    )
+
+
 def run_overhead_comparison(
     plan: Plan,
     query_name: str,
@@ -56,35 +90,19 @@ def run_overhead_comparison(
     trace_count: int = DEFAULT_TRACES,
     base_seed: int = 0,
     schemes: Optional[Sequence[FaultToleranceScheme]] = None,
-    traces: Optional[Sequence[FailureTrace]] = None,
+    traces: Optional[Sequence] = None,
+    jobs: int = 1,
+    baseline: Optional[float] = None,
 ) -> List[OverheadCell]:
-    """Steps 1-5 above for one plan and MTBF."""
-    if schemes is None:
-        schemes = standard_schemes()
+    """Steps 1-5 above for one plan and MTBF (a single-cell campaign)."""
     cluster = Cluster(nodes=nodes, mttr=mttr)
-    stats = cluster.stats(mtbf)
-    engine = SimulatedEngine(cluster)
-    baseline = pure_baseline_runtime(plan, engine, stats)
-    if traces is None:
-        horizon = max(baseline * 20.0, mtbf * 2.0, 1000.0)
-        traces = generate_trace_set(
-            nodes, mtbf, horizon, count=trace_count, base_seed=base_seed
-        )
-    cells = []
-    for scheme in schemes:
-        measurement = measure_scheme(
-            scheme, plan, engine, stats, traces, baseline=baseline
-        )
-        cells.append(OverheadCell(
-            query=query_name,
-            scheme=scheme.name,
-            mtbf=mtbf,
-            baseline=baseline,
-            overhead_percent=measurement.overhead_percent,
-            aborted=measurement.all_aborted,
-            materialized_ids=measurement.materialized_ids,
-        ))
-    return cells
+    cell = comparison_cell(
+        plan, query_name, mtbf,
+        trace_count=trace_count, base_seed=base_seed,
+        schemes=schemes, traces=traces, baseline=baseline,
+    )
+    results = run_campaign([cell], cluster, jobs=jobs)
+    return [overhead_cell(result) for result in results]
 
 
 def overhead_grid(cells: Sequence[OverheadCell]) -> str:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ..core.failure import DAY
+from ..engine.campaign import run_campaign
 from ..engine.cluster import Cluster
 from ..engine.coordinator import pure_baseline_runtime
 from ..engine.executor import SimulatedEngine
@@ -24,8 +25,9 @@ from .common import (
     DEFAULT_MTTR,
     DEFAULT_NODES,
     OverheadCell,
+    comparison_cell,
     default_params_for,
-    run_overhead_comparison,
+    overhead_cell,
 )
 
 #: scale factors sweeping the paper's runtime range
@@ -47,21 +49,24 @@ def run(
     nodes: int = DEFAULT_NODES,
     trace_count: int = 10,
     base_seed: int = 1000,
+    jobs: int = 1,
 ) -> Fig10Result:
     params = default_params_for(nodes)
     cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
     engine = SimulatedEngine(cluster)
-    cells: List[OverheadCell] = []
+    grid = []
     baselines: List[float] = []
     for index, scale_factor in enumerate(scale_factors):
         plan = build_query_plan("Q5", scale_factor, params)
         baseline = pure_baseline_runtime(plan, engine, cluster.stats(mtbf))
         baselines.append(baseline)
-        cells.extend(run_overhead_comparison(
+        grid.append(comparison_cell(
             plan, f"Q5@SF{scale_factor:g}", mtbf=mtbf,
-            nodes=nodes, trace_count=trace_count,
-            base_seed=base_seed + index,
+            trace_count=trace_count, base_seed=base_seed + index,
+            baseline=baseline,
         ))
+    results = run_campaign(grid, cluster, jobs=jobs)
+    cells: List[OverheadCell] = [overhead_cell(r) for r in results]
     return Fig10Result(
         mtbf=mtbf,
         scale_factors=tuple(scale_factors),

@@ -21,12 +21,16 @@ from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 from ..core.failure import DAY, HOUR, WEEK
+from ..engine.campaign import run_campaign
+from ..engine.cluster import Cluster
 from ..tpch.queries import build_query_plan
 from .common import (
+    DEFAULT_MTTR,
     DEFAULT_NODES,
     OverheadCell,
+    comparison_cell,
     default_params_for,
-    run_overhead_comparison,
+    overhead_cell,
 )
 
 #: (label, seconds) in the paper's order
@@ -51,17 +55,26 @@ def run(
     nodes: int = DEFAULT_NODES,
     trace_count: int = 10,
     base_seed: int = 1100,
+    jobs: int = 1,
 ) -> Fig11Result:
     params = default_params_for(nodes)
+    cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
     plan = build_query_plan("Q5", scale_factor, params)
-    by_cluster: Dict[str, Tuple[OverheadCell, ...]] = {}
-    baseline = 0.0
-    for index, (label, mtbf) in enumerate(mtbfs):
-        cells = run_overhead_comparison(
-            plan, "Q5", mtbf=mtbf, nodes=nodes,
+    grid = [
+        comparison_cell(
+            plan, "Q5", mtbf=mtbf,
             trace_count=trace_count, base_seed=base_seed + index,
         )
-        by_cluster[label] = tuple(cells)
+        for index, (_, mtbf) in enumerate(mtbfs)
+    ]
+    results = run_campaign(grid, cluster, jobs=jobs)
+    by_cluster: Dict[str, Tuple[OverheadCell, ...]] = {}
+    baseline = 0.0
+    for cell_index, (label, _) in enumerate(mtbfs):
+        cells = tuple(
+            overhead_cell(r) for r in results if r.cell_index == cell_index
+        )
+        by_cluster[label] = cells
         baseline = cells[0].baseline
     return Fig11Result(
         scale_factor=scale_factor,

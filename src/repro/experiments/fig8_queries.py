@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.strategies import standard_schemes
+from ..engine.campaign import run_campaign
 from ..engine.cluster import Cluster
 from ..engine.coordinator import pure_baseline_runtime
 from ..engine.executor import SimulatedEngine
@@ -28,9 +29,10 @@ from .common import (
     DEFAULT_MTTR,
     DEFAULT_NODES,
     OverheadCell,
+    comparison_cell,
     default_params_for,
+    overhead_cell,
     overhead_grid,
-    run_overhead_comparison,
 )
 
 PAPER_QUERIES: Tuple[str, ...] = ("Q1", "Q3", "Q5", "Q1C", "Q2C")
@@ -51,20 +53,25 @@ def run(
     base_seed: int = 800,
     engine_name: str = "fast",
     parallelism: int = 1,
+    jobs: int = 1,
 ) -> Fig8Result:
-    """Measure both Figure 8 panels.
+    """Measure both Figure 8 panels as one campaign.
 
     ``engine_name``/``parallelism`` select the cost-based scheme's
     search engine (results are engine-independent; see
-    :func:`repro.core.enumeration.find_best_ft_plan`).
+    :func:`repro.core.enumeration.find_best_ft_plan`).  ``jobs`` fans
+    the (query, MTBF, scheme) grid out over worker processes; results
+    are identical to the serial run.
     """
     params = default_params_for(nodes)
     cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
     engine = SimulatedEngine(cluster)
-    schemes = standard_schemes(engine=engine_name, parallelism=parallelism)
+    # the campaign preflights each plan once up front, so the cost-based
+    # search skips its per-configure re-lint
+    schemes = standard_schemes(engine=engine_name, parallelism=parallelism,
+                               preflight_lint=False)
 
-    low_cells: List[OverheadCell] = []
-    high_cells: List[OverheadCell] = []
+    cells = []
     baselines: Dict[str, float] = {}
     for query_name in queries:
         plan = build_query_plan(query_name, scale_factor, params)
@@ -72,16 +79,23 @@ def run(
             plan, engine, cluster.stats(mtbf=1.0)
         )
         baselines[query_name] = baseline
-        low_cells.extend(run_overhead_comparison(
+        cells.append(comparison_cell(          # low MTBF -- Figure 8(a)
             plan, query_name, mtbf=1.1 * baseline,
-            nodes=nodes, trace_count=trace_count, base_seed=base_seed,
-            schemes=schemes,
+            trace_count=trace_count, base_seed=base_seed,
+            schemes=schemes, baseline=baseline,
         ))
-        high_cells.extend(run_overhead_comparison(
+        cells.append(comparison_cell(          # high MTBF -- Figure 8(b)
             plan, query_name, mtbf=10.0 * baseline,
-            nodes=nodes, trace_count=trace_count, base_seed=base_seed + 1,
-            schemes=schemes,
+            trace_count=trace_count, base_seed=base_seed + 1,
+            schemes=schemes, baseline=baseline,
         ))
+    results = run_campaign(cells, cluster, jobs=jobs)
+    low_cells: List[OverheadCell] = []
+    high_cells: List[OverheadCell] = []
+    for result in results:
+        # cells alternate low, high per query
+        target = low_cells if result.cell_index % 2 == 0 else high_cells
+        target.append(overhead_cell(result))
     return Fig8Result(
         low_mtbf_cells=tuple(low_cells),
         high_mtbf_cells=tuple(high_cells),

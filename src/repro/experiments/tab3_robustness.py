@@ -19,6 +19,7 @@ from ..core.cost_model import ClusterStats
 from ..core.failure import HOUR
 from ..core.plan import Plan
 from ..core.search_context import SearchContext
+from ..engine.campaign import campaign_map
 from ..stats.perturbation import (
     PAPER_FACTORS,
     PerturbationKind,
@@ -78,11 +79,27 @@ def _ranking(
     return scored
 
 
+def _perturbed_top5(
+    item: Tuple[Plan, ClusterStats, PerturbationKind, float],
+) -> Tuple[MatConfigKey, ...]:
+    """Top-5 configurations after perturbing what the optimizer sees.
+
+    Module-level so :func:`~repro.engine.campaign.campaign_map` can ship
+    it to worker processes.
+    """
+    plan, stats, kind, factor = item
+    perturbed_plan = perturb_plan(plan, kind, factor)
+    perturbed_stats = perturb_stats(stats, kind, factor)
+    perturbed_ranking = _ranking(perturbed_plan, perturbed_stats)
+    return tuple(config for _, config in perturbed_ranking[:5])
+
+
 def run(
     scale_factor: float = 100.0,
     mtbf: float = HOUR,
     nodes: int = DEFAULT_NODES,
     factors: Sequence[float] = PAPER_FACTORS,
+    jobs: int = 1,
 ) -> Tab3Result:
     params = default_params_for(nodes)
     plan = build_query_plan("Q5", scale_factor, params)
@@ -95,20 +112,22 @@ def run(
         config: index + 1 for index, config in enumerate(baseline_ranking)
     }
 
-    rows: List[Tab3Row] = []
-    for kind in PerturbationKind:
-        for factor in factors:
-            perturbed_plan = perturb_plan(plan, kind, factor)
-            perturbed_stats = perturb_stats(stats, kind, factor)
-            perturbed_ranking = _ranking(perturbed_plan, perturbed_stats)
-            rows.append(Tab3Row(
-                kind=kind,
-                factor=factor,
-                top5_baseline_positions=tuple(
-                    position_of[config]
-                    for _, config in perturbed_ranking[:5]
-                ),
-            ))
+    grid = [
+        (plan, stats, kind, factor)
+        for kind in PerturbationKind
+        for factor in factors
+    ]
+    top5s = campaign_map(_perturbed_top5, grid, jobs=jobs)
+    rows: List[Tab3Row] = [
+        Tab3Row(
+            kind=kind,
+            factor=factor,
+            top5_baseline_positions=tuple(
+                position_of[config] for config in top5
+            ),
+        )
+        for (_, _, kind, factor), top5 in zip(grid, top5s)
+    ]
     return Tab3Result(
         baseline_ranking=tuple(baseline_ranking),
         rows=tuple(rows),

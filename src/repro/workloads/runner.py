@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.strategies import FaultToleranceScheme, standard_schemes
+from ..engine.campaign import campaign_map
 from ..engine.cluster import Cluster
 from ..engine.executor import SimulatedEngine, TraceExhausted
 from ..engine.traces import FailureTrace, extend_trace, generate_trace
@@ -93,22 +94,37 @@ def run_workload(
     )
 
 
+def _workload_job(item) -> WorkloadRun:
+    """One scheme's workload run -- :func:`compare_workload`'s unit of
+    parallelism (module-level so it pickles into worker processes)."""
+    workload, scheme, cluster, mtbf, trace = item
+    return run_workload(workload, scheme, cluster, mtbf, trace=trace)
+
+
 def compare_workload(
     workload: Sequence[WorkloadQuery],
     cluster: Cluster,
     mtbf: float,
     schemes: Optional[Sequence[FaultToleranceScheme]] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[WorkloadRun]:
-    """Run the workload once per scheme on the *same* failure timeline."""
+    """Run the workload once per scheme on the *same* failure timeline.
+
+    ``jobs > 1`` fans the schemes out over worker processes
+    (:func:`~repro.engine.campaign.campaign_map`); every scheme still
+    sees the identical seeded timeline, so results match the serial run
+    exactly.
+    """
     if schemes is None:
         schemes = standard_schemes()
     horizon = _initial_horizon(workload, mtbf)
     trace = generate_trace(cluster.nodes, mtbf, horizon, seed=seed)
-    return [
-        run_workload(workload, scheme, cluster, mtbf, trace=trace)
+    items = [
+        (tuple(workload), scheme, cluster, mtbf, trace)
         for scheme in schemes
     ]
+    return campaign_map(_workload_job, items, jobs=jobs)
 
 
 def _execute_at(engine, configured, trace, clock):
@@ -117,9 +133,11 @@ def _execute_at(engine, configured, trace, clock):
     The (possibly extended) base trace is handed back so later queries
     reuse the longer horizon instead of re-extending.
     """
+    prepared = engine.prepare(configured)
     while True:
         try:
-            return engine.execute(configured, trace.shifted(clock)), trace
+            result = engine.execute_prepared(prepared, trace.shifted(clock))
+            return result, trace
         except TraceExhausted:
             if trace.seed is None:
                 raise

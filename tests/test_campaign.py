@@ -1,0 +1,414 @@
+"""Tests for the simulation campaign engine (repro.engine.campaign).
+
+The load-bearing guarantees:
+
+* ``jobs=N`` produces *exactly* the rows ``jobs=1`` produces -- the
+  process-pool fan-out is pure orchestration;
+* prepared execution matches fresh ``execute()`` on every cell of the
+  Figure 8 grid;
+* the vectorized trace generator is bit-identical to the scalar loop it
+  replaced;
+* shared trace sets only ever change by prefix-stable extension, and the
+  extension is written back so later sharers reuse it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import linear_plan
+from repro.core.strategies import (
+    AllMat,
+    NoMatLineage,
+    NoMatRestart,
+    standard_schemes,
+)
+from repro.engine.campaign import (
+    CampaignCell,
+    campaign_map,
+    run_campaign,
+)
+from repro.engine.cluster import Cluster
+from repro.engine.coordinator import (
+    compare_schemes,
+    measure_scheme,
+    pure_baseline_runtime,
+    run_with_extension,
+)
+from repro.engine.executor import SimulatedEngine
+from repro.engine.timeline import MutedTimeline
+from repro.engine.traces import (
+    cached_trace_set,
+    generate_trace,
+    generate_trace_set,
+    generate_weibull_trace,
+)
+
+
+@pytest.fixture
+def chain():
+    return linear_plan([(100.0, 5.0), (100.0, 5.0), (100.0, 5.0)])
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(nodes=3, mttr=1.0)
+
+
+def _cell(chain, mtbf=150.0, base_seed=0, trace_count=4, **kwargs):
+    return CampaignCell(label="chain", plan=chain, mtbf=mtbf,
+                        trace_count=trace_count, base_seed=base_seed,
+                        **kwargs)
+
+
+class TestCampaignCell:
+    def test_validates_mtbf(self, chain):
+        with pytest.raises(ValueError, match="mtbf"):
+            CampaignCell(label="x", plan=chain, mtbf=0.0)
+
+    def test_validates_trace_count(self, chain):
+        with pytest.raises(ValueError, match="trace_count"):
+            CampaignCell(label="x", plan=chain, mtbf=1.0, trace_count=0)
+
+    def test_rejects_schemes_and_configured_together(self, chain):
+        stats = Cluster(nodes=3, mttr=1.0).stats(100.0)
+        configured = AllMat().configure(chain, stats)
+        with pytest.raises(ValueError, match="not both"):
+            CampaignCell(label="x", plan=chain, mtbf=1.0,
+                         schemes=(AllMat(),), configured=(configured,))
+
+    def test_default_targets_are_the_standard_schemes(self, chain):
+        cell = _cell(chain)
+        names = [t.name for t in cell.targets()]
+        assert names == [s.name for s in standard_schemes()]
+
+
+class TestSerialCampaign:
+    def test_result_rows_in_cell_target_order(self, chain, cluster):
+        cells = [_cell(chain, base_seed=0), _cell(chain, base_seed=50)]
+        results = run_campaign(cells, cluster)
+        assert [r.cell_index for r in results] == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert [r.scheme for r in results[:4]] == [
+            s.name for s in standard_schemes()
+        ]
+
+    def test_matches_measure_scheme(self, chain, cluster):
+        """The campaign row equals the coordinator's measurement."""
+        mtbf = 150.0
+        results = run_campaign(
+            [_cell(chain, mtbf=mtbf, schemes=(AllMat(),))], cluster
+        )
+        engine = SimulatedEngine(cluster)
+        stats = cluster.stats(mtbf)
+        baseline = pure_baseline_runtime(chain, engine, stats)
+        horizon = max(baseline * 20.0, mtbf * cluster.nodes * 2.0, 1000.0)
+        traces = generate_trace_set(cluster.nodes, mtbf, horizon,
+                                    count=4, base_seed=0)
+        measurement = measure_scheme(AllMat(), chain, engine, stats,
+                                     traces)
+        assert results[0].runtimes == measurement.runtimes
+        assert results[0].baseline == measurement.baseline
+        assert results[0].materialized_ids == measurement.materialized_ids
+
+    def test_explicit_traces_and_baseline(self, chain, cluster):
+        traces = tuple(generate_trace_set(cluster.nodes, 200.0, 5000.0,
+                                          count=3, base_seed=9))
+        cell = _cell(chain, mtbf=200.0, traces=traces, baseline=300.0)
+        results = run_campaign([cell], cluster)
+        assert all(r.baseline == 300.0 for r in results)
+        assert all(len(r.runtimes) + r.aborted_runs == 3 for r in results)
+
+    def test_configured_cells_run_as_given(self, chain, cluster):
+        stats = cluster.stats(150.0)
+        configured = (NoMatLineage().configure(chain, stats),
+                      AllMat().configure(chain, stats))
+        results = run_campaign(
+            [_cell(chain, configured=configured)], cluster
+        )
+        assert [r.scheme for r in results] == \
+            ["no-mat (lineage)", "all-mat"]
+
+    def test_jobs_must_be_positive(self, chain, cluster):
+        with pytest.raises(ValueError, match="jobs"):
+            run_campaign([_cell(chain)], cluster, jobs=0)
+
+
+class TestParallelEqualsSerial:
+    """The tentpole guarantee: job count never changes the output."""
+
+    @given(base_seed=st.integers(min_value=0, max_value=10_000),
+           mtbf=st.sampled_from([60.0, 150.0, 900.0]))
+    @settings(max_examples=5, deadline=None)
+    def test_property_jobs_equal(self, base_seed, mtbf):
+        chain = linear_plan([(100.0, 5.0), (100.0, 5.0), (100.0, 5.0)])
+        cluster = Cluster(nodes=3, mttr=1.0)
+        cells = [
+            CampaignCell(label="chain", plan=chain, mtbf=mtbf,
+                         trace_count=3, base_seed=base_seed),
+        ]
+        serial = run_campaign(cells, cluster, jobs=1)
+        parallel = run_campaign(cells, cluster, jobs=3)
+        assert serial == parallel
+
+    def test_multi_cell_grid_jobs_equal(self, chain, cluster):
+        # enough cells to exercise the chunk-per-cell grain...
+        many = [_cell(chain, mtbf=m, base_seed=s, trace_count=2)
+                for m in (100.0, 400.0) for s in (0, 7, 19)]
+        assert run_campaign(many, cluster, jobs=4) == \
+            run_campaign(many, cluster, jobs=1)
+        # ...and a single big cell the chunk-per-unit fallback
+        one = [_cell(chain, trace_count=3)]
+        assert run_campaign(one, cluster, jobs=4) == \
+            run_campaign(one, cluster, jobs=1)
+
+
+class TestPreparedMatchesFresh:
+    def test_every_fig8_cell(self):
+        """Prepared-execution reuse is invisible on the real grid."""
+        from repro.experiments import fig8_queries
+
+        result = fig8_queries.run(scale_factor=20.0, trace_count=3,
+                                  queries=("Q1", "Q5"))
+        params_cluster = Cluster(nodes=10, mttr=1.0)
+        fresh_engine = SimulatedEngine(params_cluster)
+        from repro.stats.calibration import default_parameters
+        from repro.tpch.queries import build_query_plan
+
+        params = default_parameters(nodes=10)
+        for cells, seed in ((result.low_mtbf_cells, 800),
+                            (result.high_mtbf_cells, 801)):
+            for cell in cells:
+                plan = build_query_plan(cell.query, 20.0, params)
+                stats = params_cluster.stats(cell.mtbf)
+                from repro.core.strategies import scheme_by_name
+
+                configured = scheme_by_name(cell.scheme).configure(
+                    plan, stats
+                )
+                horizon = max(cell.baseline * 20.0,
+                              cell.mtbf * params_cluster.nodes * 2.0,
+                              1000.0)
+                traces = generate_trace_set(10, cell.mtbf, horizon,
+                                            count=3, base_seed=seed)
+                runtimes = []
+                aborted = 0
+                for trace in traces:
+                    run, _ = run_with_extension(fresh_engine, configured,
+                                                trace)
+                    if run.aborted:
+                        aborted += 1
+                    else:
+                        runtimes.append(run.runtime)
+                mean = (sum(runtimes) / len(runtimes)
+                        if runtimes else float("inf"))
+                if aborted == 3:
+                    assert cell.aborted
+                else:
+                    expected = (mean / cell.baseline - 1.0) * 100.0
+                    assert cell.overhead_percent == expected
+
+    def test_prepared_equals_execute(self, chain, cluster):
+        stats = cluster.stats(120.0)
+        engine = SimulatedEngine(cluster)
+        configured = AllMat().configure(chain, stats)
+        prepared = engine.prepare(configured)
+        for seed in range(5):
+            trace = generate_trace(cluster.nodes, 120.0, 20_000.0,
+                                   seed=seed)
+            fresh = engine.execute(configured, trace)
+            reused = engine.execute_prepared(prepared, trace)
+            assert fresh.runtime == reused.runtime
+            assert fresh.share_restarts == reused.share_restarts
+
+
+class TestTraceVectorization:
+    """The NumPy generator is bit-identical to the scalar loop."""
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           mtbf=st.sampled_from([1.0, 37.5, 1e4, 1e9]))
+    @settings(max_examples=20, deadline=None)
+    def test_exponential_matches_scalar(self, seed, mtbf):
+        horizon = mtbf * 25.0
+        trace = generate_trace(2, mtbf, horizon, seed=seed)
+        for node in range(2):
+            rng = np.random.default_rng([seed, node])
+            expected = []
+            current = 0.0
+            while True:
+                current += float(rng.exponential(mtbf))
+                if current > horizon:
+                    break
+                expected.append(current)
+            assert list(trace.failures_of(node)) == expected
+
+    def test_weibull_matches_scalar(self):
+        import math
+
+        shape, mtbf, horizon, seed = 0.7, 50.0, 2000.0, 3
+        scale = mtbf / math.gamma(1.0 + 1.0 / shape)
+        trace = generate_weibull_trace(2, mtbf, horizon, seed=seed,
+                                       shape=shape)
+        for node in range(2):
+            rng = np.random.default_rng([seed, node, 7])
+            expected = []
+            current = 0.0
+            while True:
+                current += float(scale * rng.weibull(shape))
+                if current > horizon:
+                    break
+                expected.append(current)
+            assert list(trace.failures_of(node)) == expected
+
+
+class TestTraceSetCache:
+    def test_same_key_returns_same_object(self):
+        a = cached_trace_set(3, 77.0, 5000.0, count=2, base_seed=1)
+        b = cached_trace_set(3, 77.0, 5000.0, count=2, base_seed=1)
+        assert a is b
+
+    def test_distinct_keys_do_not_collide(self):
+        a = cached_trace_set(3, 77.0, 5000.0, count=2, base_seed=1)
+        b = cached_trace_set(3, 77.0, 5000.0, count=2, base_seed=2)
+        assert a is not b
+        assert a[0].node_failures != b[0].node_failures
+
+    def test_matches_uncached_generation(self):
+        cached = cached_trace_set(2, 55.0, 3000.0, count=2, base_seed=4)
+        fresh = generate_trace_set(2, 55.0, 3000.0, count=2, base_seed=4)
+        assert [t.node_failures for t in cached] == \
+            [t.node_failures for t in fresh]
+
+
+class TestExtensionWriteBack:
+    """Satellite fix: extended traces flow back into the shared set."""
+
+    def test_measure_scheme_writes_back(self, chain):
+        cluster = Cluster(nodes=1, mttr=0.0)
+        engine = SimulatedEngine(cluster)
+        stats = cluster.stats(40.0)
+        # horizon far below the ~300 s runtime forces an extension
+        traces = generate_trace_set(1, 40.0, 50.0, count=2, base_seed=0)
+        horizons_before = [t.horizon for t in traces]
+        measure_scheme(NoMatLineage(), chain, engine, stats, traces)
+        assert all(t.horizon > h
+                   for t, h in zip(traces, horizons_before))
+        # prefix-stability: the extended traces still carry their seeds
+        assert all(t.seed == index for index, t in enumerate(traces))
+
+    def test_immutable_trace_sets_still_work(self, chain):
+        cluster = Cluster(nodes=1, mttr=0.0)
+        engine = SimulatedEngine(cluster)
+        stats = cluster.stats(40.0)
+        traces = tuple(
+            generate_trace_set(1, 40.0, 50.0, count=2, base_seed=0)
+        )
+        measurement = measure_scheme(NoMatLineage(), chain, engine,
+                                     stats, traces)
+        assert len(measurement.runtimes) == 2
+
+
+class TestBaselineMemo:
+    def test_identical_plans_share_the_baseline(self, cluster):
+        plan_a = linear_plan([(10.0, 1.0), (20.0, 2.0)])
+        plan_b = linear_plan([(10.0, 1.0), (20.0, 2.0)])
+        engine = SimulatedEngine(cluster)
+        first = pure_baseline_runtime(plan_a, engine,
+                                      cluster.stats(100.0))
+        second = pure_baseline_runtime(plan_b, engine,
+                                       cluster.stats(999.0))
+        assert first == second
+
+    def test_different_const_pipe_does_not_collide(self, cluster):
+        # CONST_pipe changes the collapsed pipeline's runtime, so it is
+        # part of the memo key -- engines must not share entries
+        plan = linear_plan([(10.0, 0.0), (20.0, 0.0)])
+        a = pure_baseline_runtime(
+            plan, SimulatedEngine(cluster), cluster.stats(100.0)
+        )
+        b = pure_baseline_runtime(
+            plan, SimulatedEngine(cluster, const_pipe=0.5),
+            cluster.stats(100.0)
+        )
+        assert b == pytest.approx(0.5 * a)
+
+
+class TestCompareSchemes:
+    def test_jobs_equal_serial(self, chain, cluster):
+        schemes = standard_schemes()
+        serial = compare_schemes(schemes, chain, "chain", cluster,
+                                 mtbf=150.0, trace_count=3)
+        parallel = compare_schemes(schemes, chain, "chain", cluster,
+                                   mtbf=150.0, trace_count=3, jobs=2)
+        assert serial == parallel
+
+    def test_precomputed_baseline_is_used(self, chain, cluster):
+        rows = compare_schemes([NoMatLineage()], chain, "chain", cluster,
+                               mtbf=1e12, trace_count=1, baseline=600.0)
+        # no-mat runs 300 s against the supplied 600 s baseline: -50 %
+        assert rows[0].overhead_percent == pytest.approx(-50.0)
+
+
+class TestCampaignMap:
+    def test_preserves_order(self):
+        items = list(range(20))
+        assert campaign_map(_square, items) == [i * i for i in items]
+
+    def test_jobs_equal_serial(self):
+        items = list(range(20))
+        assert campaign_map(_square, items, jobs=4) == \
+            campaign_map(_square, items, jobs=1)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            campaign_map(_square, [1], jobs=0)
+
+
+def _square(value):
+    return value * value
+
+
+class TestMutedTimeline:
+    def test_muted_engine_matches_recording_engine(self, chain, cluster):
+        stats = cluster.stats(120.0)
+        recording = SimulatedEngine(cluster)
+        muted = SimulatedEngine(cluster, record_events=False)
+        configured = AllMat().configure(chain, stats)
+        trace = generate_trace(cluster.nodes, 120.0, 20_000.0, seed=2)
+        loud = recording.execute(configured, trace)
+        quiet = muted.execute(configured, trace)
+        assert loud.runtime == quiet.runtime
+        assert loud.share_restarts == quiet.share_restarts
+        assert len(loud.timeline) > 0
+        assert len(quiet.timeline) == 0
+        assert isinstance(quiet.timeline, MutedTimeline)
+
+
+class TestExperimentsParallelEqualSerial:
+    """Each ported experiment yields identical results at any job count."""
+
+    def test_fig11_small(self):
+        from repro.experiments import fig11_mtbf
+
+        kwargs = dict(scale_factor=10.0, trace_count=2,
+                      mtbfs=(("A", 3600.0), ("B", 600.0)))
+        assert fig11_mtbf.run(**kwargs) == \
+            fig11_mtbf.run(jobs=3, **kwargs)
+
+    def test_tab3_jobs_equal(self):
+        from repro.experiments import tab3_robustness
+
+        serial = tab3_robustness.run(scale_factor=10.0, factors=(0.5, 2))
+        parallel = tab3_robustness.run(scale_factor=10.0,
+                                       factors=(0.5, 2), jobs=4)
+        assert serial == parallel
+
+    def test_workload_jobs_equal(self):
+        from repro.workloads import compare_workload, generate_mixed_workload
+
+        workload = generate_mixed_workload(count=3, seed=5)
+        cluster = Cluster(nodes=4, mttr=1.0)
+        serial = compare_workload(workload, cluster, mtbf=3600.0, seed=5)
+        parallel = compare_workload(workload, cluster, mtbf=3600.0,
+                                    seed=5, jobs=4)
+        assert serial == parallel
