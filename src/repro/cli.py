@@ -12,6 +12,11 @@ Main commands:
   and cost-model invariant linter, ``--code`` for the AST code linter;
   both by default).  Exits non-zero on error-severity findings.
 
+``experiments``, ``advise``, ``simulate`` and ``workload`` accept
+``--trace out.json`` (write a Chrome/Perfetto trace of the run) and
+``--metrics`` (print the :mod:`repro.obs` counter/span summary after
+the command's normal output).
+
 Durations accept suffixed values (``90s``, ``15m``, ``2h``, ``1d``,
 ``1w``).
 """
@@ -20,8 +25,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from . import obs
 from .core.cost_model import ClusterStats
 from .core.strategies import CostBased, standard_schemes
 from .engine.cluster import Cluster
@@ -63,6 +69,20 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable, str]] = {
                 "cardinality model vs measured execution"),
 }
 
+#: experiment id -> kwargs for ``--quick`` (filtered by run() signature,
+#: so entries an experiment does not accept are simply dropped)
+QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
+    "fig1": {"max_runtime_min": 60.0, "step_min": 20.0},
+    "fig8": {"scale_factor": 10.0, "queries": ("Q3", "Q5"),
+             "trace_count": 3},
+    "fig10": {"scale_factors": (10.0, 40.0), "trace_count": 3},
+    "fig11": {"scale_factor": 10.0, "trace_count": 3},
+    "fig12": {"scale_factor": 10.0, "trace_count": 3},
+    "fig13": {"max_join_orders": 40},
+    "tab3": {"scale_factor": 10.0},
+    "cardval": {"scale_factors": (0.002,)},
+}
+
 _DURATION_UNITS = {
     "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0,
 }
@@ -100,13 +120,23 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate the paper's tables and figures"
     )
     experiments.add_argument(
+        "name", nargs="?", choices=sorted(EXPERIMENTS),
+        help="run a single experiment (default: all)",
+    )
+    experiments.add_argument(
         "--only", choices=sorted(EXPERIMENTS),
-        help="run a single experiment",
+        help="run a single experiment (same as the positional name)",
     )
     experiments.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    experiments.add_argument(
+        "--quick", action="store_true",
+        help="shrink grids/scale factors for a fast smoke run "
+             "(results are not the paper's numbers)",
+    )
     _add_jobs_argument(experiments)
+    _add_obs_arguments(experiments)
 
     advise = sub.add_parser(
         "advise", help="recommend a materialization configuration"
@@ -117,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="Q5", help="TPC-H query (default Q5)")
     advise.add_argument("--scale-factor", type=float, default=100.0,
                         help="TPC-H scale factor (default 100)")
+    _add_obs_arguments(advise)
 
     simulate = sub.add_parser(
         "simulate", help="measure all four schemes in the simulator"
@@ -130,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="failure traces per run (default 10)")
     simulate.add_argument("--seed", type=int, default=0)
     _add_jobs_argument(simulate)
+    _add_obs_arguments(simulate)
 
     workload = sub.add_parser(
         "workload",
@@ -140,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workload size (default 10)")
     workload.add_argument("--seed", type=int, default=7)
     _add_jobs_argument(workload)
+    _add_obs_arguments(workload)
 
     replay = sub.add_parser(
         "replay",
@@ -210,6 +243,15 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
                              "serial run (default 1)")
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace_event file of the run "
+                             "(open with https://ui.perfetto.dev)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the observability counter/span "
+                             "summary after the command output")
+
+
 def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", choices=["fast", "naive"],
                         default="fast",
@@ -224,6 +266,23 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_file = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_file is None and not want_metrics:
+        return _dispatch(args)
+    with obs.recording() as recorder:
+        status = _dispatch(args)
+        if want_metrics:
+            print()
+            print(obs.export_text(recorder))
+        if trace_file is not None:
+            obs.write_chrome_trace(trace_file, recorder)
+            print(f"trace written to {trace_file} "
+                  f"(open with https://ui.perfetto.dev)")
+    return status
+
+
+def _dispatch(args) -> int:
     if args.command == "experiments":
         return _run_experiments(args)
     if args.command == "advise":
@@ -249,18 +308,31 @@ def _run_experiments(args) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.name and args.only and args.name != args.only:
+        print("error: positional name and --only disagree",
+              file=sys.stderr)
+        return 2
     import inspect
 
-    names: List[str] = [args.only] if args.only else sorted(EXPERIMENTS)
+    selected = args.name or args.only
+    names: List[str] = [selected] if selected else sorted(EXPERIMENTS)
     for name in names:
         run, format_table, description = EXPERIMENTS[name]
+        accepted = inspect.signature(run).parameters
         # campaign-backed experiments fan out; the others ignore --jobs
-        kwargs = (
-            {"jobs": args.jobs}
-            if "jobs" in inspect.signature(run).parameters else {}
+        kwargs: Dict[str, Any] = (
+            {"jobs": args.jobs} if "jobs" in accepted else {}
         )
+        if args.quick:
+            kwargs.update({
+                key: value
+                for key, value in QUICK_OVERRIDES.get(name, {}).items()
+                if key in accepted
+            })
         print(f"=== {name}: {description} ===")
-        print(format_table(run(**kwargs)))
+        with obs.span("experiment", experiment=name, quick=args.quick):
+            table = format_table(run(**kwargs))
+        print(table)
         print()
     return 0
 

@@ -44,6 +44,7 @@ from typing import (
     Tuple,
 )
 
+from .. import obs
 from . import cost_model
 from .collapse import CollapsedPlan, collapse_plan
 from .cost_model import ClusterStats
@@ -277,11 +278,50 @@ def find_best_ft_plan(
         for plan in plan_list:
             _preflight_once(plan, stats)
 
-    if engine == "naive":
-        return _find_best_naive(plan_list, stats, pruning, exact_waste)
-    return _find_best_fast(
-        plan_list, stats, pruning, exact_waste, parallelism
-    )
+    with obs.span("search", engine=engine, plans=len(plan_list),
+                  parallelism=parallelism):
+        if engine == "naive":
+            result = _find_best_naive(
+                plan_list, stats, pruning, exact_waste
+            )
+        else:
+            result = _find_best_fast(
+                plan_list, stats, pruning, exact_waste, parallelism
+            )
+        _record_search_counters(result.pruning)
+    return result
+
+
+def _record_search_counters(stats: PruningStats) -> None:
+    """Fold one search's pruning accounting into the observability layer.
+
+    No-op while observability is disabled.  Counters *accumulate* across
+    searches within a recording (e.g. one increment per scheme configure
+    in a campaign).
+    """
+    recorder = obs.get_recorder()
+    if recorder is None:
+        return
+    recorder.add("search.runs")
+    recorder.add("search.configs_total", stats.configs_total)
+    recorder.add("search.configs_enumerated", stats.configs_enumerated)
+    recorder.add("search.configs_pruned", stats.configs_pruned)
+    recorder.add("search.paths_estimated", stats.paths_estimated)
+    recorder.add("search.rule1.marked", stats.rule1_marked)
+    recorder.add("search.rule2.marked", stats.rule2_marked)
+    recorder.add("search.rule3.plan_cutoffs", stats.rule3_plan_cutoffs)
+
+
+def _record_memo_counters(recorder: Optional[Any],
+                          memo: DominantPathMemo) -> None:
+    """Fold a ``DominantPathMemo``'s effectiveness counters into ``obs``."""
+    if recorder is None:
+        return
+    recorder.add("search.rule3.cheap_skips", memo.cheap_skips)
+    recorder.add("search.rule3.dominance_skips", memo.dominance_skips)
+    recorder.add("search.rule3.estimated_skips", memo.estimated_skips)
+    recorder.add("search.rule3.memo_misses", memo.misses)
+    recorder.add("search.rule3.memo_records", memo.records)
 
 
 # ----------------------------------------------------------------------
@@ -297,51 +337,54 @@ def _find_best_naive(
     memo = DominantPathMemo()
     best: Optional[SearchResult] = None
 
-    for plan in plan_list:
-        pruning_stats.configs_total += count_mat_configs(plan)
-        pruned_plan = plan
-        if pruning.rule1:
-            pruned_plan = apply_rule1(
-                pruned_plan, stats.const_pipe, stats_out=pruning_stats
-            )
-        if pruning.rule2:
-            pruned_plan = apply_rule2(
-                pruned_plan, stats, stats_out=pruning_stats
-            )
+    for plan_index, plan in enumerate(plan_list):
+        with obs.span("search.plan", plan=plan_index, engine="naive"):
+            pruning_stats.configs_total += count_mat_configs(plan)
+            pruned_plan = plan
+            if pruning.rule1:
+                pruned_plan = apply_rule1(
+                    pruned_plan, stats.const_pipe, stats_out=pruning_stats
+                )
+            if pruning.rule2:
+                pruned_plan = apply_rule2(
+                    pruned_plan, stats, stats_out=pruning_stats
+                )
 
-        for config in enumerate_mat_configs(pruned_plan):
-            pruning_stats.configs_enumerated += 1
-            candidate = pruned_plan.with_mat_config(config)
-            outcome = _score_with_rule3(
-                candidate, stats, memo,
-                use_rule3=pruning.rule3,
-                exact_waste=exact_waste,
-                pruning_stats=pruning_stats,
-            )
-            if outcome is None and best is None:
-                # Rule 3 can only cut off the first-ever configuration
-                # when its estimate and bestT are both infinite (some
-                # operator is unrecoverable at this MTBF); score it in
-                # full so the search still returns the first
-                # configuration, exactly like the fast engine, which
-                # never skips before a finite best exists.
+            for config in enumerate_mat_configs(pruned_plan):
+                pruning_stats.configs_enumerated += 1
+                candidate = pruned_plan.with_mat_config(config)
                 outcome = _score_with_rule3(
                     candidate, stats, memo,
-                    use_rule3=False,
+                    use_rule3=pruning.rule3,
                     exact_waste=exact_waste,
                     pruning_stats=pruning_stats,
                 )
-            if outcome is None:
-                continue  # Rule 3 proved it cannot beat the best
-            memo.record_dominant(outcome.dominant_costs, outcome.cost)
-            if best is None or outcome.cost < best.cost:
-                best = SearchResult(
-                    plan=candidate,
-                    mat_config=config,
-                    cost=outcome.cost,
-                    estimate=outcome,
-                    pruning=pruning_stats,
-                )
+                if outcome is None and best is None:
+                    # Rule 3 can only cut off the first-ever
+                    # configuration when its estimate and bestT are both
+                    # infinite (some operator is unrecoverable at this
+                    # MTBF); score it in full so the search still
+                    # returns the first configuration, exactly like the
+                    # fast engine, which never skips before a finite
+                    # best exists.
+                    outcome = _score_with_rule3(
+                        candidate, stats, memo,
+                        use_rule3=False,
+                        exact_waste=exact_waste,
+                        pruning_stats=pruning_stats,
+                    )
+                if outcome is None:
+                    continue  # Rule 3 proved it cannot beat the best
+                memo.record_dominant(outcome.dominant_costs, outcome.cost)
+                if best is None or outcome.cost < best.cost:
+                    best = SearchResult(
+                        plan=candidate,
+                        mat_config=config,
+                        cost=outcome.cost,
+                        estimate=outcome,
+                        pruning=pruning_stats,
+                    )
+    _record_memo_counters(obs.get_recorder(), memo)
     assert best is not None
     return best
 
@@ -434,34 +477,41 @@ def _fast_scan_plan(
     ``(cost, plan, mask)`` tie-break matches the naive engine's
     first-wins behaviour bit for bit.
     """
-    pruning_stats.configs_total += count_mat_configs(plan)
-    pruned_plan = plan
-    if pruning.rule1:
-        pruned_plan = apply_rule1(
-            pruned_plan, stats.const_pipe, stats_out=pruning_stats
-        )
-    if pruning.rule2:
-        pruned_plan = apply_rule2(
-            pruned_plan, stats, stats_out=pruning_stats
-        )
+    recorder = obs.get_recorder()
+    with obs.span("search.plan", plan=plan_index, engine="fast"):
+        pruning_stats.configs_total += count_mat_configs(plan)
+        pruned_plan = plan
+        if pruning.rule1:
+            pruned_plan = apply_rule1(
+                pruned_plan, stats.const_pipe, stats_out=pruning_stats
+            )
+        if pruning.rule2:
+            pruned_plan = apply_rule2(
+                pruned_plan, stats, stats_out=pruning_stats
+            )
 
-    context = SearchContext(pruned_plan, stats, exact_waste=exact_waste)
-    best: Optional[_BestKey] = None
-    for mask in context.iter_masks(order="gray"):
-        pruning_stats.configs_enumerated += 1
-        if pruning.rule3:
-            bound = shared.get()
-            r_max = context.failure_free_dominant()
-            if r_max >= bound:
-                pruning_stats.rule3_plan_cutoffs += 1
-                if r_max > bound:
-                    continue
-        total = context.dominant_cost()
-        pruning_stats.paths_estimated += 1
-        key = (total, plan_index, mask)
-        if best is None or key < best:
-            best = key
-        shared.update(total)
+        context = SearchContext(pruned_plan, stats,
+                                exact_waste=exact_waste)
+        best: Optional[_BestKey] = None
+        for mask in context.iter_masks(order="gray"):
+            pruning_stats.configs_enumerated += 1
+            if pruning.rule3:
+                bound = shared.get()
+                r_max = context.failure_free_dominant()
+                if r_max >= bound:
+                    pruning_stats.rule3_plan_cutoffs += 1
+                    if r_max > bound:
+                        continue
+            total = context.dominant_cost()
+            pruning_stats.paths_estimated += 1
+            key = (total, plan_index, mask)
+            if best is None or key < best:
+                best = key
+            shared.update(total)
+        if recorder is not None:
+            # fold the context's tallies in once per plan, not per config
+            for name, value in context.counters().items():
+                recorder.add(name, value)
     return best
 
 
@@ -536,16 +586,22 @@ def _pool_initializer(
     stats: ClusterStats,
     pruning: PruningConfig,
     exact_waste: bool,
+    observe: bool = False,
 ) -> None:
     _WORKER_STATE["shared"] = _SharedBest(cell)
     _WORKER_STATE["stats"] = stats
     _WORKER_STATE["pruning"] = pruning
     _WORKER_STATE["exact_waste"] = exact_waste
+    if observe:
+        # parent had a recorder on: record in this worker too and ship a
+        # snapshot back with every chunk result (merged by the parent)
+        obs.enable()
 
 
 def _pool_scan(
     chunk: List[Tuple[int, Plan]],
-) -> Tuple[Optional[_BestKey], PruningStats]:
+) -> Tuple[Optional[_BestKey], PruningStats,
+           Optional[obs.RecorderSnapshot]]:
     shared = _WORKER_STATE["shared"]
     stats = _WORKER_STATE["stats"]
     pruning = _WORKER_STATE["pruning"]
@@ -559,7 +615,13 @@ def _pool_scan(
         )
         if local is not None and (best is None or local < best):
             best = local
-    return best, worker_stats
+    recorder = obs.get_recorder()
+    snapshot = recorder.snapshot() if recorder is not None else None
+    if recorder is not None:
+        # one chunk per worker: reset so a reused worker process (pool
+        # implementations may recycle) does not re-ship earlier spans
+        obs.enable()
+    return best, worker_stats, snapshot
 
 
 def _fan_out(
@@ -584,19 +646,24 @@ def _fan_out(
     chunks = [chunk for chunk in chunks if chunk]
     cell = multiprocessing.Value("d", float("inf"))
     best_key: Optional[_BestKey] = None
+    recorder = obs.get_recorder()
     pool = multiprocessing.Pool(
         processes=len(chunks),
         initializer=_pool_initializer,
-        initargs=(cell, stats, pruning, exact_waste),
+        initargs=(cell, stats, pruning, exact_waste,
+                  recorder is not None),
     )
     try:
-        for worker_best, worker_stats in pool.map(_pool_scan, chunks):
-            pruning_stats.merge(worker_stats)
-            if worker_best is not None and (
-                best_key is None or worker_best < best_key
-            ):
-                best_key = worker_best
+        outcomes = pool.map(_pool_scan, chunks)
     finally:
         pool.close()
         pool.join()
+    for index, (worker_best, worker_stats, snapshot) in enumerate(outcomes):
+        pruning_stats.merge(worker_stats)
+        if recorder is not None and snapshot is not None:
+            recorder.merge(snapshot, track=f"search-worker-{index}")
+        if worker_best is not None and (
+            best_key is None or worker_best < best_key
+        ):
+            best_key = worker_best
     return best_key

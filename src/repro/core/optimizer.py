@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from .. import obs
 from ..joinorder.dp import RankedTree, top_k_plans
 from ..joinorder.graph import JoinGraph
 from ..joinorder.trees import tree_to_plan
@@ -113,29 +114,41 @@ class FaultTolerantOptimizer:
         self, query: QuerySpec
     ) -> Tuple[List[Plan], List[RankedTree]]:
         """Phase 1: the top-k join orders, lowered to costed plans."""
-        ranked = top_k_plans(query.graph, k=self.top_k)
-        plans = [
-            tree_to_plan(
-                entry.tree, query.graph, self.params,
-                agg_out_rows=query.agg_out_rows,
-                agg_out_bytes=query.agg_out_bytes,
-            )
-            for entry in ranked
-        ]
+        with obs.span("optimizer.phase1", query=query.name,
+                      relations=len(query.graph.relations),
+                      top_k=self.top_k) as phase_span:
+            ranked = top_k_plans(query.graph, k=self.top_k)
+            plans = [
+                tree_to_plan(
+                    entry.tree, query.graph, self.params,
+                    agg_out_rows=query.agg_out_rows,
+                    agg_out_bytes=query.agg_out_bytes,
+                )
+                for entry in ranked
+            ]
+            phase_span.set(candidates=len(plans))
+            obs.add("optimizer.phase1.runs")
+            obs.add("optimizer.phase1.candidates", len(plans))
         return plans, ranked
 
     def optimize(self, query: QuerySpec,
                  stats: ClusterStats) -> OptimizerResult:
         """Both phases: top-k join orders, then configuration search."""
-        plans, ranked = self.candidate_plans(query)
-        search = find_best_ft_plan(
-            plans, stats,
-            pruning=self.pruning,
-            exact_waste=self.exact_waste,
-            engine=self.engine,
-            parallelism=self.parallelism,
-        )
-        chosen_rank = self._identify_chosen(plans, search)
+        with obs.span("optimizer", query=query.name,
+                      engine=self.engine) as opt_span:
+            plans, ranked = self.candidate_plans(query)
+            with obs.span("optimizer.phase2", query=query.name,
+                          plans=len(plans)):
+                search = find_best_ft_plan(
+                    plans, stats,
+                    pruning=self.pruning,
+                    exact_waste=self.exact_waste,
+                    engine=self.engine,
+                    parallelism=self.parallelism,
+                )
+            chosen_rank = self._identify_chosen(plans, search)
+            opt_span.set(chosen_rank=chosen_rank, cost=search.cost)
+            obs.add("optimizer.runs")
         return OptimizerResult(
             search=search,
             ranked_trees=tuple(ranked),

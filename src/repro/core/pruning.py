@@ -205,17 +205,47 @@ class DominantPathMemo:
     cheapest dominant path observed, plus the global best dominant cost
     ``bestT``.  :meth:`should_skip_plan` implements the three early-exit
     checks of Section 4.3.
+
+    The memo counts its own effectiveness: ``hits`` is every check that
+    skipped a plan (split into ``cheap_skips`` for the failure-free
+    bound, ``dominance_skips`` for Equation 9, ``estimated_skips`` for
+    the full-cost check), ``misses`` is checks that let the plan
+    through.  :meth:`hit_rate` summarizes; the observability layer
+    surfaces the same numbers as ``search.rule3.*`` counters.
     """
 
     best_cost: float = float("inf")  #: bestT across all FT plans so far
     #: path length -> descending-sorted t(c) vector of the best dominant path
     _by_length: Dict[int, Tuple[float, ...]] = field(default_factory=dict)
+    # -- introspection counters -----------------------------------------
+    cheap_skips: int = 0       #: skips by the failure-free R >= bestT bound
+    dominance_skips: int = 0   #: skips by the Equation 9 pairwise test
+    estimated_skips: int = 0   #: skips by the full cost-model estimate
+    misses: int = 0            #: checks that did not skip
+    records: int = 0           #: record_dominant calls
+    improvements: int = 0      #: times bestT strictly improved
+
+    @property
+    def hits(self) -> int:
+        """Checks that skipped a plan (any of the three rules fired)."""
+        return self.cheap_skips + self.dominance_skips + self.estimated_skips
+
+    @property
+    def checks(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`should_skip_plan` calls that skipped."""
+        checks = self.checks
+        return self.hits / checks if checks else 0.0
 
     def record_dominant(self, path_costs: Sequence[float],
                         total_cost: float) -> None:
         """Memoize a plan's dominant path and its cost under failures."""
+        self.records += 1
         if total_cost < self.best_cost:
             self.best_cost = total_cost
+            self.improvements += 1
         key = len(path_costs)
         ordered = tuple(sorted(path_costs, reverse=True))
         current = self._by_length.get(key)
@@ -231,6 +261,7 @@ class DominantPathMemo:
         """
         if total_cost < self.best_cost:
             self.best_cost = total_cost
+            self.improvements += 1
 
     def dominates(self, path_costs: Sequence[float]) -> bool:
         """Equation 9: is some memoized path pairwise <= this path?
@@ -264,19 +295,23 @@ class DominantPathMemo:
         # check 1: failure-free runtime already beats bestT -> skip,
         # no cost-model call needed.
         if cost_model.path_cost_failure_free(path_costs) >= self.best_cost:
+            self.cheap_skips += 1
             return SkipDecision(skip=True, estimated=None, cheap=True)
         # Equation 9 dominance against memoized dominant paths: T_Pt is
         # monotone in the sorted t(c) vector, so domination implies the
         # path costs at least as much as a memoized dominant path, and
         # every memoized dominant cost is >= bestT by construction.
         if self._by_length and self.dominates(path_costs):
+            self.dominance_skips += 1
             return SkipDecision(skip=True, estimated=None, cheap=True)
         # check 2: full cost-model estimate against bestT.
         estimated = cost_model.path_cost(
             path_costs, stats, exact_waste=exact_waste
         )
         if estimated >= self.best_cost:
+            self.estimated_skips += 1
             return SkipDecision(skip=True, estimated=estimated, cheap=False)
+        self.misses += 1
         return SkipDecision(skip=False, estimated=estimated, cheap=False)
 
 

@@ -141,6 +141,16 @@ class SearchContext:
         #: memoized scalar T(c) per distinct t(c) (bit-identical to naive)
         self._runtime_cache: Dict[float, float] = {}
 
+        # -- observability tallies (plain ints; folded into repro.obs by
+        # the search engines at scan end, never read per configuration)
+        self.full_collapses = 0       #: from-scratch group builds
+        self.incremental_flips = 0    #: single-bit Gray-code repairs
+        self.group_cache_hits = 0     #: group states recalled from cache
+        self.group_cache_misses = 0   #: group states computed fresh
+        self.runtime_lookups = 0      #: T(c) cache probes while scoring
+        self.runtime_cache_misses = 0  #: probes that ran the cost model
+
+        self.full_collapses += 1
         for op_id in self._topo:
             if self._flags[op_id] or op_id in self._sinks:
                 self._rebuild_group(op_id)
@@ -230,6 +240,7 @@ class SearchContext:
                         total, self.stats, exact_waste=self.exact_waste
                     )
                     cache[total] = cached
+                    self.runtime_cache_misses += 1
                 value = cached
             incoming = group_in[anchor]
             if incoming:
@@ -238,8 +249,27 @@ class SearchContext:
             if anchor not in inner:  # a collapsed sink ends a path
                 if best is None or value > best:
                     best = value
+        if not failure_free:
+            # one bulk increment per scoring call, not one per anchor
+            self.runtime_lookups += len(self._collapsed_order)
         assert best is not None  # a valid plan always has >= 1 path
         return best
+
+    @property
+    def runtime_cache_hits(self) -> int:
+        """T(c) probes answered from the memo (lookups minus misses)."""
+        return self.runtime_lookups - self.runtime_cache_misses
+
+    def counters(self) -> Dict[str, int]:
+        """The context's observability tallies, in ``repro.obs`` naming."""
+        return {
+            "search.collapse.full": self.full_collapses,
+            "search.collapse.incremental": self.incremental_flips,
+            "cache.group.hit": self.group_cache_hits,
+            "cache.group.miss": self.group_cache_misses,
+            "cache.runtime.hit": self.runtime_cache_hits,
+            "cache.runtime.miss": self.runtime_cache_misses,
+        }
 
     # ------------------------------------------------------------------
     # collapsed-plan export (for callers that enumerate paths themselves)
@@ -266,6 +296,7 @@ class SearchContext:
     # ------------------------------------------------------------------
     def _flip(self, op_id: int) -> None:
         """Toggle ``m(op_id)`` and repair exactly the affected groups."""
+        self.incremental_flips += 1
         becoming_materialized = not self._flags[op_id]
         if becoming_materialized:
             # groups that contained o shrink; o anchors a new group
@@ -299,7 +330,10 @@ class SearchContext:
         members = self._members_of(anchor)
         key = (anchor, members, self._flags[anchor])
         cached = self._group_cache.get(key)
-        if cached is None:
+        if cached is not None:
+            self.group_cache_hits += 1
+        else:
+            self.group_cache_misses += 1
             dominant_path, path_runtime = self._dominant_path(members, anchor)
             pipe = self._const_pipe if len(dominant_path) > 1 else 1.0
             mat_cost = self._mat[anchor] if self._flags[anchor] else 0.0

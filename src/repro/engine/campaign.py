@@ -39,6 +39,7 @@ from typing import (
     Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar,
 )
 
+from .. import obs
 from ..core.plan import Plan
 from ..core.strategies import (
     ConfiguredPlan,
@@ -177,56 +178,83 @@ def _measure_unit(
     baselines, prepared plans) memoizes a deterministic function, so a
     unit computes the same row in any process at any time.
     """
-    stats = cluster.stats(cell.mtbf, const_pipe=cell.const_pipe)
-    # nobody reads the event logs of campaign runs -- mute them
-    engine = SimulatedEngine(cluster, const_pipe=cell.const_pipe,
-                             record_events=False)
-    baseline = cell.baseline
-    if baseline is None:
-        baseline = pure_baseline_runtime(cell.plan, engine, stats)
-    if cell.traces is not None:
-        traces: List[FailureTrace] = list(cell.traces)
-    else:
-        horizon = cell.horizon
-        if horizon is None:
-            horizon = _default_horizon(baseline, cell.mtbf, cluster)
-        traces = cached_trace_set(
-            cluster.nodes, cell.mtbf, horizon,
-            count=cell.trace_count, base_seed=cell.base_seed,
-        )
-    target = cell.targets()[target_index]
-    if isinstance(target, ConfiguredPlan):
-        configured = target
-    else:
-        configured = target.configure(cell.plan, stats)
-    prepared = engine.prepare(configured)
-    runtimes: List[float] = []
-    aborted = 0
-    for index, trace in enumerate(traces):
-        result, extended = run_with_extension(engine, prepared, trace)
-        if extended is not trace:
-            # write the extension back so the next target on this trace
-            # set (and other sharers of the cache entry) reuse it
-            traces[index] = extended
-        if result.aborted:
-            aborted += 1
+    recorder = obs.get_recorder()
+    with obs.span("campaign.unit", cell=cell_index, label=cell.label,
+                  target=target_index) as unit_span:
+        stats = cluster.stats(cell.mtbf, const_pipe=cell.const_pipe)
+        # nobody reads the event logs of campaign runs -- mute them
+        engine = SimulatedEngine(cluster, const_pipe=cell.const_pipe,
+                                 record_events=False)
+        baseline = cell.baseline
+        if baseline is None:
+            with obs.span("campaign.baseline", cell=cell_index):
+                baseline = pure_baseline_runtime(cell.plan, engine, stats)
+        if cell.traces is not None:
+            traces: List[FailureTrace] = list(cell.traces)
         else:
-            runtimes.append(result.runtime)
-    materialized = tuple(
-        op_id for op_id, op in configured.plan.operators.items()
-        if op.materialize and cell.plan[op_id].free
-    )
-    return CellResult(
-        cell_index=cell_index,
-        label=cell.label,
-        scheme=configured.scheme,
-        mtbf=cell.mtbf,
-        const_pipe=cell.const_pipe,
-        baseline=baseline,
-        runtimes=tuple(runtimes),
-        aborted_runs=aborted,
-        materialized_ids=materialized,
-    )
+            horizon = cell.horizon
+            if horizon is None:
+                horizon = _default_horizon(baseline, cell.mtbf, cluster)
+            traces = cached_trace_set(
+                cluster.nodes, cell.mtbf, horizon,
+                count=cell.trace_count, base_seed=cell.base_seed,
+            )
+        target = cell.targets()[target_index]
+        if isinstance(target, ConfiguredPlan):
+            configured = target
+        else:
+            with obs.span("campaign.configure", cell=cell_index,
+                          target=target_index):
+                configured = target.configure(cell.plan, stats)
+        unit_span.set(scheme=configured.scheme)
+        prepared = engine.prepare(configured)
+        runtimes: List[float] = []
+        aborted = 0
+        failures = 0
+        query_restarts = 0
+        share_restarts = 0
+        for index, trace in enumerate(traces):
+            with obs.span("campaign.trace", cell=cell_index,
+                          target=target_index, trace=index):
+                result, extended = run_with_extension(
+                    engine, prepared, trace
+                )
+            if extended is not trace:
+                # write the extension back so the next target on this
+                # trace set (and other sharers of the cache entry)
+                # reuse it
+                traces[index] = extended
+            if result.aborted:
+                aborted += 1
+            else:
+                runtimes.append(result.runtime)
+            failures += result.failures_hit
+            query_restarts += result.restarts
+            share_restarts += result.share_restarts
+        if recorder is not None:
+            # derived from the (bit-identical) results, so these totals
+            # are independent of the job count and the merge order
+            recorder.add("campaign.units")
+            recorder.add("campaign.trace_runs", len(traces))
+            recorder.add("sim.failures_injected", failures)
+            recorder.add("sim.restarts.query", query_restarts)
+            recorder.add("sim.restarts.share", share_restarts)
+            recorder.add("sim.aborts", aborted)
+        materialized = tuple(
+            op_id for op_id, op in configured.plan.operators.items()
+            if op.materialize and cell.plan[op_id].free
+        )
+        return CellResult(
+            cell_index=cell_index,
+            label=cell.label,
+            scheme=configured.scheme,
+            mtbf=cell.mtbf,
+            const_pipe=cell.const_pipe,
+            baseline=baseline,
+            runtimes=tuple(runtimes),
+            aborted_runs=aborted,
+            materialized_ids=materialized,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -235,19 +263,33 @@ def _measure_unit(
 _WORKER_STATE: Dict[str, Any] = {}
 
 
-def _campaign_init(cells: Sequence[CampaignCell], cluster: Cluster) -> None:
+def _campaign_init(cells: Sequence[CampaignCell], cluster: Cluster,
+                   observe: bool = False) -> None:
     _WORKER_STATE["cells"] = cells
     _WORKER_STATE["cluster"] = cluster
+    if observe:
+        # parent had a recorder on: record in this worker too; snapshots
+        # ride back with each chunk result and merge in unit order
+        obs.enable()
 
 
-def _campaign_chunk(chunk: Sequence[Tuple[int, int]]) -> List[CellResult]:
-    return [
+def _campaign_chunk(
+    chunk: Sequence[Tuple[int, int]],
+) -> Tuple[List[CellResult], Optional[obs.RecorderSnapshot]]:
+    results = [
         _measure_unit(
             _WORKER_STATE["cells"][cell_index], cell_index, target_index,
             _WORKER_STATE["cluster"],
         )
         for cell_index, target_index in chunk
     ]
+    recorder = obs.get_recorder()
+    snapshot = recorder.snapshot() if recorder is not None else None
+    if recorder is not None:
+        # fresh recorder per chunk so recycled workers don't re-ship
+        # spans/counters a previous chunk already delivered
+        obs.enable()
+    return results, snapshot
 
 
 def _preflight_cells(
@@ -300,39 +342,61 @@ def run_campaign(
         for cell_index, cell in enumerate(cells)
         for target_index in range(len(cell.targets()))
     ]
-    workers = min(jobs, len(units))
-    if workers <= 1:
-        return [
-            _measure_unit(cells[cell_index], cell_index, target_index,
-                          cluster)
-            for cell_index, target_index in units
-        ]
-    # Parallel grain: one chunk per *cell* when there are enough cells to
-    # keep every worker busy -- a cell's targets share its trace set, and
-    # process-local caches only pay off when they run in the same worker.
-    # With fewer cells than workers, fall back to one chunk per unit so a
-    # single big cell still fans out.
-    if len(cells) >= workers:
-        chunks: List[List[Tuple[int, int]]] = [[] for _ in cells]
-        for unit in units:
-            chunks[unit[0]].append(unit)
-    else:
-        chunks = [[unit] for unit in units]
-    import multiprocessing
+    with obs.span("campaign", cells=len(cells), units=len(units),
+                  jobs=jobs):
+        workers = min(jobs, len(units))
+        if workers <= 1:
+            return [
+                _measure_unit(cells[cell_index], cell_index, target_index,
+                              cluster)
+                for cell_index, target_index in units
+            ]
+        # Parallel grain: one chunk per *cell* when there are enough
+        # cells to keep every worker busy -- a cell's targets share its
+        # trace set, and process-local caches only pay off when they run
+        # in the same worker.  With fewer cells than workers, fall back
+        # to one chunk per unit so a single big cell still fans out.
+        if len(cells) >= workers:
+            chunks: List[List[Tuple[int, int]]] = [[] for _ in cells]
+            for unit in units:
+                chunks[unit[0]].append(unit)
+        else:
+            chunks = [[unit] for unit in units]
+        import multiprocessing
 
-    pool = multiprocessing.Pool(
-        processes=workers,
-        initializer=_campaign_init,
-        initargs=(cells, cluster),
-    )
-    try:
-        # pool.map preserves chunk order regardless of scheduling, and
-        # chunks follow unit order, so the merge equals the serial list
-        results = pool.map(_campaign_chunk, chunks)
-    finally:
-        pool.close()
-        pool.join()
-    return [result for chunk_results in results for result in chunk_results]
+        recorder = obs.get_recorder()
+        pool = multiprocessing.Pool(
+            processes=workers,
+            initializer=_campaign_init,
+            initargs=(cells, cluster, recorder is not None),
+        )
+        try:
+            # pool.map preserves chunk order regardless of scheduling,
+            # and chunks follow unit order, so the merge equals the
+            # serial list
+            outcomes = pool.map(_campaign_chunk, chunks)
+        finally:
+            pool.close()
+            pool.join()
+        merged: List[CellResult] = []
+        for index, (chunk_results, snapshot) in enumerate(outcomes):
+            if recorder is not None and snapshot is not None:
+                # unit-order merge: counter totals equal the jobs=1 run
+                # for every counter derived from the (bit-identical)
+                # results; only cache.* effectiveness is process-local
+                recorder.merge(snapshot, track=f"campaign-worker-{index}")
+            merged.extend(chunk_results)
+        return merged
+
+
+def _observed_map_call(
+    payload: Tuple[Callable[[_T], _R], _T],
+) -> Tuple[_R, Optional[obs.RecorderSnapshot]]:
+    """Worker-side wrapper: run one item under a fresh recorder."""
+    fn, item = payload
+    with obs.recording() as recorder:
+        result = fn(item)
+        return result, recorder.snapshot()
 
 
 def campaign_map(
@@ -347,7 +411,9 @@ def campaign_map(
     experiment loops that are not trace-set simulations (perturbation
     rankings, per-scheme workload runs).  ``fn`` must be picklable (a
     module-level function) when ``jobs > 1``; results always merge in
-    item order, so job count never changes the output.
+    item order, so job count never changes the output.  When a recorder
+    is installed, worker recordings are shipped back per item and merged
+    in item order.
     """
     items = list(items)
     if jobs < 1:
@@ -357,9 +423,21 @@ def campaign_map(
         return [fn(item) for item in items]
     import multiprocessing
 
+    recorder = obs.get_recorder()
     pool = multiprocessing.Pool(processes=workers)
     try:
-        return pool.map(fn, items)
+        if recorder is None:
+            return pool.map(fn, items)
+        with obs.span("campaign.map", items=len(items), jobs=jobs):
+            outcomes = pool.map(
+                _observed_map_call, [(fn, item) for item in items]
+            )
+            results: List[_R] = []
+            for index, (result, snapshot) in enumerate(outcomes):
+                if snapshot is not None:
+                    recorder.merge(snapshot, track=f"map-worker-{index}")
+                results.append(result)
+            return results
     finally:
         pool.close()
         pool.join()

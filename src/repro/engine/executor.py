@@ -54,6 +54,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..core.collapse import CollapsedOperator, CollapsedPlan, collapse_plan
 from ..core.strategies import ConfiguredPlan, RecoveryMode
 from .cluster import Cluster
@@ -370,6 +371,10 @@ class SimulatedEngine:
             share_restarts += restarts
         group_done = max(node_done)
         timeline.record(group_done, EventKind.GROUP_COMPLETED, group=anchor)
+        recorder = obs.get_recorder()
+        if recorder is not None and spec is None and group.mat_cost > 0:
+            # each node's share persists its partition of the group output
+            recorder.add("sim.checkpoint.writes", self.cluster.nodes)
         return group_done, share_restarts
 
     def _scale_for_node(
@@ -403,6 +408,7 @@ class SimulatedEngine:
         chunks are durable on fault-tolerant storage, so a failure only
         re-runs the current chunk (after ``MTTR``).
         """
+        recorder = obs.get_recorder()
         current = 0.0
         restarts = 0
         started = False
@@ -433,6 +439,11 @@ class SimulatedEngine:
                 start = max(failure + self.cluster.mttr, gate)
                 timeline.record(start, EventKind.SHARE_RESTARTED,
                                 group=group, node=node)
+        if recorder is not None:
+            # every non-final chunk persisted a snapshot; every restart
+            # resumed by reading the latest one back
+            recorder.add("sim.checkpoint.writes", max(len(flat) - 1, 0))
+            recorder.add("sim.checkpoint.reads", restarts)
         return current, restarts
 
     def _share_completion(

@@ -18,6 +18,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
+
 
 @dataclass(frozen=True)
 class FailureTrace:
@@ -268,6 +270,24 @@ def generate_trace_set(
 _TRACE_SET_CACHE: Dict[Tuple[int, float, float, int, int],
                        List[FailureTrace]] = {}
 _TRACE_SET_CAPACITY = 256
+#: cache effectiveness counters (process-local; see trace_cache_stats)
+_TRACE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def trace_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counts of the process-global trace-set cache.
+
+    Returns a copy; counters are per-process (pool workers each warm and
+    count their own cache) and reset with :func:`reset_trace_cache`.
+    """
+    return dict(_TRACE_CACHE_STATS)
+
+
+def reset_trace_cache() -> None:
+    """Drop all cached trace sets and zero the counters (test hook)."""
+    _TRACE_SET_CACHE.clear()
+    for key in _TRACE_CACHE_STATS:
+        _TRACE_CACHE_STATS[key] = 0
 
 
 def cached_trace_set(
@@ -289,17 +309,25 @@ def cached_trace_set(
 
     The cache is capacity-capped (it resets once full rather than growing
     without bound) and per-process, so campaign workers each warm their
-    own copy and never share mutable state across processes.
+    own copy and never share mutable state across processes.  Hits and
+    misses are counted (:func:`trace_cache_stats`) and mirrored into the
+    observability layer as ``cache.trace_set.hit`` / ``.miss``.
     """
     key = (nodes, mtbf, horizon, count, base_seed)
     traces = _TRACE_SET_CACHE.get(key)
     if traces is None:
         if len(_TRACE_SET_CACHE) >= _TRACE_SET_CAPACITY:
             _TRACE_SET_CACHE.clear()
+            _TRACE_CACHE_STATS["evictions"] += 1
         traces = generate_trace_set(
             nodes, mtbf, horizon, count=count, base_seed=base_seed
         )
         _TRACE_SET_CACHE[key] = traces
+        _TRACE_CACHE_STATS["misses"] += 1
+        obs.add("cache.trace_set.miss")
+    else:
+        _TRACE_CACHE_STATS["hits"] += 1
+        obs.add("cache.trace_set.hit")
     return traces
 
 

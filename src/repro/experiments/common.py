@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..core.plan import Plan
 from ..core.strategies import FaultToleranceScheme
 from ..engine.campaign import CampaignCell, CellResult, run_campaign
@@ -95,13 +96,17 @@ def run_overhead_comparison(
     baseline: Optional[float] = None,
 ) -> List[OverheadCell]:
     """Steps 1-5 above for one plan and MTBF (a single-cell campaign)."""
-    cluster = Cluster(nodes=nodes, mttr=mttr)
-    cell = comparison_cell(
-        plan, query_name, mtbf,
-        trace_count=trace_count, base_seed=base_seed,
-        schemes=schemes, traces=traces, baseline=baseline,
-    )
-    results = run_campaign([cell], cluster, jobs=jobs)
+    with obs.span("experiment.cell", query=query_name, mtbf=mtbf,
+                  traces=trace_count):
+        cluster = Cluster(nodes=nodes, mttr=mttr)
+        cell = comparison_cell(
+            plan, query_name, mtbf,
+            trace_count=trace_count, base_seed=base_seed,
+            schemes=schemes, traces=traces, baseline=baseline,
+        )
+        results = run_campaign([cell], cluster, jobs=jobs)
+        obs.add("experiment.cells")
+        obs.add("experiment.measurements", len(results))
     return [overhead_cell(result) for result in results]
 
 

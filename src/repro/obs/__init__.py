@@ -1,0 +1,170 @@
+"""``repro.obs`` -- zero-dependency observability: spans, counters, traces.
+
+The search engines (:mod:`repro.core.enumeration`), the simulation
+campaign (:mod:`repro.engine.campaign`) and the experiment harness are
+instrumented against this module.  By default **no recorder is
+installed** and every helper is a cheap no-op -- one module-global load
+and a ``None`` check -- so the instrumented hot paths run at full speed
+(measured delta within run-to-run noise; see ``docs/observability.md``).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.recording() as recorder:
+        find_best_ft_plan([plan], stats)
+        print(obs.summary()["counters"])          # programmatic
+        print(obs.export_text(recorder))          # human tree
+        obs.write_chrome_trace("out.json")        # open in Perfetto
+
+or from the CLI: ``python -m repro simulate --trace out.json --metrics``.
+
+Process pools: workers each install their own recorder (the pool
+plumbing in :mod:`repro.core.enumeration` / :mod:`repro.engine.campaign`
+handles this) and ship a :class:`~repro.obs.recorder.RecorderSnapshot`
+back; the parent merges them in unit order, so counter totals are
+independent of the job count for every counter that is not explicitly
+process-local cache state (the ``cache.*`` namespace).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .export import to_chrome_trace, to_json, to_text
+from .recorder import Recorder, RecorderSnapshot, SpanRecord
+
+__all__ = [
+    "Recorder", "RecorderSnapshot", "SpanRecord",
+    "enabled", "get_recorder", "enable", "disable", "recording",
+    "span", "add", "gauge", "summary",
+    "export_text", "export_json", "export_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: the installed recorder; ``None`` keeps every helper a no-op
+_RECORDER: Optional[Recorder] = None
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def enabled() -> bool:
+    """Is a recorder installed?"""
+    return _RECORDER is not None
+
+
+def get_recorder() -> Optional[Recorder]:
+    """The installed recorder, or ``None``.
+
+    Hot loops should fetch this once, keep local tallies, and fold them
+    in at the end of the region instead of calling :func:`add` per
+    iteration.
+    """
+    return _RECORDER
+
+
+def enable(recorder: Optional[Recorder] = None) -> Recorder:
+    """Install (and return) a recorder; replaces any existing one."""
+    global _RECORDER
+    _RECORDER = recorder if recorder is not None else Recorder()
+    return _RECORDER
+
+
+def disable() -> Optional[Recorder]:
+    """Uninstall the recorder and return it (``None`` if none was on)."""
+    global _RECORDER
+    recorder, _RECORDER = _RECORDER, None
+    return recorder
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Scoped enable/disable; restores whatever was installed before."""
+    global _RECORDER
+    previous = _RECORDER
+    installed = enable(recorder)
+    try:
+        yield installed
+    finally:
+        _RECORDER = previous
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """Open a nested span (no-op context manager while disabled)."""
+    recorder = _RECORDER
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(name, **attrs)
+
+
+def add(name: str, value: int = 1) -> None:
+    """Increment a counter (no-op while disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge (no-op while disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.gauge(name, value)
+
+
+def summary() -> Dict[str, Any]:
+    """Counters / gauges / per-span-name timing aggregates.
+
+    Empty dict-of-empties when disabled, so callers can always index it.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return {"counters": {}, "gauges": {}, "spans": {}}
+    return recorder.summary()
+
+
+# ----------------------------------------------------------------------
+# export conveniences (accept an explicit recorder or use the installed)
+# ----------------------------------------------------------------------
+def _resolve(recorder: Optional[Recorder]) -> Recorder:
+    target = recorder if recorder is not None else _RECORDER
+    if target is None:
+        raise RuntimeError(
+            "no recorder: pass one explicitly or call obs.enable() first"
+        )
+    return target
+
+
+def export_text(recorder: Optional[Recorder] = None) -> str:
+    return to_text(_resolve(recorder))
+
+
+def export_json(recorder: Optional[Recorder] = None) -> str:
+    return to_json(_resolve(recorder))
+
+
+def export_chrome_trace(recorder: Optional[Recorder] = None) -> str:
+    return to_chrome_trace(_resolve(recorder))
+
+
+def write_chrome_trace(path: str,
+                       recorder: Optional[Recorder] = None) -> None:
+    """Write a Perfetto-loadable Chrome trace file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_chrome_trace(_resolve(recorder)))

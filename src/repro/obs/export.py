@@ -1,0 +1,137 @@
+"""Exporters: human text tree, JSON, and Chrome ``trace_event`` format.
+
+The Chrome format (``{"traceEvents": [...]}`` with complete ``"X"``
+events) loads directly in Perfetto (https://ui.perfetto.dev) and in
+``chrome://tracing``; see ``docs/observability.md`` for the how-to.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .recorder import Recorder
+
+
+def to_json(recorder: Recorder, indent: Optional[int] = 2) -> str:
+    """Full dump: spans (flat, parent-linked), counters, gauges."""
+    payload = {
+        "format": "repro-obs/1",
+        "spans": [
+            {
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "start_s": span.start,
+                "end_s": span.end,
+                "track": span.track,
+                "attrs": span.attrs,
+            }
+            for span in recorder.spans
+        ],
+        "counters": dict(sorted(recorder.counters.items())),
+        "gauges": dict(sorted(recorder.gauges.items())),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+def to_text(recorder: Recorder, max_depth: Optional[int] = None) -> str:
+    """Human-readable tree of spans plus the counter/gauge tables."""
+    lines: List[str] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        for span in recorder.children_of(parent):
+            attrs = ""
+            if span.attrs:
+                attrs = "  " + " ".join(
+                    f"{key}={value}" for key, value in span.attrs.items()
+                )
+            lines.append(
+                f"{'  ' * depth}{span.name:<28s} "
+                f"{span.duration * 1e3:10.3f} ms{attrs}"
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    if recorder.counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in recorder.counters)
+        for name, value in sorted(recorder.counters.items()):
+            lines.append(f"  {name:<{width}s}  {value}")
+    if recorder.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name in recorder.gauges)
+        for name, value in sorted(recorder.gauges.items()):
+            lines.append(f"  {name:<{width}s}  {value:g}")
+    return "\n".join(lines)
+
+
+def _track_ids(recorder: Recorder) -> Dict[str, int]:
+    tracks: Dict[str, int] = {}
+    for span in recorder.spans:
+        if span.track not in tracks:
+            tracks[span.track] = len(tracks)
+    return tracks or {"main": 0}
+
+
+def to_chrome_trace(recorder: Recorder) -> str:
+    """Chrome ``trace_event`` JSON (Perfetto-loadable).
+
+    Every span becomes a complete (``"ph": "X"``) event; timestamps are
+    microseconds since the recorder epoch.  Tracks map to thread ids
+    (with ``thread_name`` metadata), counters are emitted as one final
+    ``"C"`` event per counter so their end-of-run totals show up as
+    counter tracks, and gauges ride along in the metadata event's args.
+    """
+    tracks = _track_ids(recorder)
+    end_ts = max(
+        (span.end if span.end is not None else span.start
+         for span in recorder.spans),
+        default=0.0,
+    )
+    events: List[Dict[str, Any]] = []
+    for track, tid in tracks.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": track},
+        })
+    for span in recorder.spans:
+        end = span.end if span.end is not None else span.start
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "pid": 1,
+            "tid": tracks.get(span.track, 0),
+            "ts": span.start * 1e6,
+            "dur": max(end - span.start, 0.0) * 1e6,
+            "args": _jsonable(span.attrs),
+        })
+    for name, value in sorted(recorder.counters.items()):
+        events.append({
+            "name": name, "cat": "counters", "ph": "C", "pid": 1,
+            "ts": end_ts * 1e6, "args": {"value": value},
+        })
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "repro-obs/1",
+            "gauges": dict(sorted(recorder.gauges.items())),
+        },
+    }
+    return json.dumps(payload)
+
+
+def _jsonable(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    safe: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = repr(value)
+    return safe

@@ -10,6 +10,14 @@ from repro.stats.calibration import default_parameters
 from repro.tpch.datagen import generate
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current outputs "
+             "instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def paper_plan() -> Plan:
     """The Figure 2/3 plan: two scans, a join, a repartition, a map UDF,

@@ -412,3 +412,60 @@ class TestExperimentsParallelEqualSerial:
         parallel = compare_workload(workload, cluster, mtbf=3600.0,
                                     seed=5, jobs=4)
         assert serial == parallel
+
+
+class TestTraceCacheIntrospection:
+    """The shared trace-set cache exposes (and earns) its hit counts."""
+
+    def test_stats_count_misses_then_hits(self, chain, cluster):
+        from repro.engine.traces import (
+            reset_trace_cache,
+            trace_cache_stats,
+        )
+
+        reset_trace_cache()
+        cached_trace_set(nodes=3, mtbf=200.0, horizon=50_000.0,
+                         count=4, base_seed=3)
+        after_first = trace_cache_stats()
+        assert after_first["misses"] == 1
+        assert after_first["hits"] == 0
+        cached_trace_set(nodes=3, mtbf=200.0, horizon=50_000.0,
+                         count=4, base_seed=3)
+        after_second = trace_cache_stats()
+        assert after_second["misses"] == 1
+        assert after_second["hits"] == 1
+        reset_trace_cache()
+        assert trace_cache_stats() == {"hits": 0, "misses": 0,
+                                       "evictions": 0}
+
+    def test_campaign_cells_share_one_generation(self, chain, cluster):
+        from repro.engine.traces import (
+            reset_trace_cache,
+            trace_cache_stats,
+        )
+
+        reset_trace_cache()
+        cells = [_cell(chain, mtbf=150.0, base_seed=5,
+                       schemes=(AllMat(), NoMatLineage()))]
+        run_campaign(cells, cluster, jobs=1)
+        stats = trace_cache_stats()
+        # one generation for the cell, then every further scheme/unit
+        # rides the cache
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+        reset_trace_cache()
+
+    def test_cache_counters_mirror_into_obs(self, chain, cluster):
+        from repro import obs
+        from repro.engine.traces import reset_trace_cache
+
+        reset_trace_cache()
+        obs.disable()
+        with obs.recording() as recorder:
+            run_campaign([_cell(chain, mtbf=150.0, base_seed=9)],
+                         cluster, jobs=1)
+            counters = dict(recorder.counters)
+        obs.disable()
+        reset_trace_cache()
+        assert counters.get("cache.trace_set.miss", 0) >= 1
+        assert counters.get("cache.trace_set.hit", 0) >= 1

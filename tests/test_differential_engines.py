@@ -1,0 +1,89 @@
+"""Differential tests: the fast search engine vs the naive oracle.
+
+The fast engine (Gray-code incremental collapse, memoized runtime
+lookups, Rule-3 dominant-path memo) must be *bit-identical* to the
+naive reference -- same winning configuration, same cost to the last
+ulp -- on realistic inputs.  These tests sweep the TPC-H join graphs
+(``repro.joinorder.tpch_graphs``) through phase 1 and compare both
+engines with exact ``==``, not ``approx``: any floating-point
+reassociation in the fast path is a bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import ClusterStats
+from repro.core.enumeration import find_best_ft_plan
+from repro.core.pruning import PruningConfig
+from repro.joinorder.dp import top_k_plans
+from repro.joinorder.tpch_graphs import q3_join_graph, q5_join_graph
+from repro.joinorder.trees import tree_to_plan
+from repro.stats.calibration import default_parameters
+
+GRAPHS = {
+    "q3": q3_join_graph,
+    "q5": q5_join_graph,
+}
+
+#: (mtbf seconds, scale factor) grid; spans heavy- and light-failure
+#: regimes so both mat-heavy and mat-free optima get exercised
+REGIMES = [(300.0, 10.0), (3600.0, 10.0), (86400.0, 100.0)]
+
+
+def _candidate_plans(graph_name: str, scale_factor: float, k: int = 4):
+    graph = GRAPHS[graph_name](scale_factor)
+    params = default_parameters(nodes=10)
+    ranked = top_k_plans(graph, k=k)
+    return [tree_to_plan(entry.tree, graph, params) for entry in ranked]
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("mtbf,scale_factor", REGIMES)
+class TestFastVsNaive:
+    def test_engines_bit_identical(self, graph_name, mtbf, scale_factor):
+        plans = _candidate_plans(graph_name, scale_factor)
+        stats = ClusterStats(mtbf=mtbf, mttr=1.0, nodes=10)
+        fast = find_best_ft_plan(plans, stats, engine="fast")
+        naive = find_best_ft_plan(plans, stats, engine="naive")
+        assert fast.cost == naive.cost          # exact, not approx
+        assert fast.mat_config == naive.mat_config
+        assert fast.materialized_ids == naive.materialized_ids
+        assert fast.estimate.cost == naive.estimate.cost
+        assert fast.estimate.failure_free_cost == \
+            naive.estimate.failure_free_cost
+
+    def test_engines_agree_under_every_pruning_config(
+        self, graph_name, mtbf, scale_factor
+    ):
+        plans = _candidate_plans(graph_name, scale_factor, k=2)
+        stats = ClusterStats(mtbf=mtbf, mttr=1.0, nodes=10)
+        for pruning in (PruningConfig.none(), PruningConfig.only(3),
+                        PruningConfig.all()):
+            fast = find_best_ft_plan(plans, stats, engine="fast",
+                                     pruning=pruning)
+            naive = find_best_ft_plan(plans, stats, engine="naive",
+                                      pruning=pruning)
+            assert fast.cost == naive.cost, pruning
+            assert fast.mat_config == naive.mat_config, pruning
+
+
+class TestFastVsNaiveExactWaste:
+    def test_exact_waste_integral_matches_too(self):
+        plans = _candidate_plans("q5", 10.0)
+        stats = ClusterStats(mtbf=1800.0, mttr=1.0, nodes=10)
+        fast = find_best_ft_plan(plans, stats, engine="fast",
+                                 exact_waste=True)
+        naive = find_best_ft_plan(plans, stats, engine="naive",
+                                  exact_waste=True)
+        assert fast.cost == naive.cost
+        assert fast.mat_config == naive.mat_config
+
+    def test_parallel_fast_matches_serial_naive(self):
+        plans = _candidate_plans("q5", 10.0, k=4)
+        stats = ClusterStats(mtbf=1800.0, mttr=1.0, nodes=10)
+        fast = find_best_ft_plan(plans, stats, engine="fast",
+                                 parallelism=2)
+        naive = find_best_ft_plan(plans, stats, engine="naive")
+        assert fast.cost == naive.cost
+        assert fast.mat_config == naive.mat_config

@@ -1,0 +1,123 @@
+"""Golden regression tests: pin small-grid experiment outputs exactly.
+
+Each test runs a shrunken version of a paper experiment and compares its
+JSON serialization byte-for-byte against a file committed under
+``tests/golden/``.  The simulations are deterministic (seeded traces,
+ordered campaigns), so any drift -- a cost-model tweak, a scheduler
+change, a refactor that silently reorders floating-point operations --
+fails these tests with a readable diff instead of shipping unnoticed.
+
+After an *intentional* behavior change, regenerate the pins:
+
+    PYTHONPATH=src python -m pytest tests/test_golden_experiments.py \
+        --regen-golden
+
+and review the diff of ``tests/golden/`` like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.strategies import standard_schemes
+from repro.engine.cluster import Cluster
+from repro.engine.coordinator import compare_schemes
+from repro.experiments import fig8_queries, tab3_robustness
+from repro.stats.calibration import default_parameters
+from repro.tpch.queries import build_query_plan
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _check(request, name: str, payload: dict) -> None:
+    """Compare ``payload`` against the committed pin (or rewrite it)."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--regen-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden file {path}; run pytest with --regen-golden"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert payload == expected, (
+        f"{name} drifted from its golden pin; if the change is "
+        f"intentional, rerun with --regen-golden and review the diff"
+    )
+
+
+def _cell_dict(cell) -> dict:
+    return {
+        "query": cell.query,
+        "scheme": cell.scheme,
+        "mtbf": cell.mtbf,
+        "baseline": cell.baseline,
+        "overhead_percent": (
+            cell.overhead_percent if not cell.aborted else "aborted"
+        ),
+        "aborted": cell.aborted,
+        "materialized_ids": list(cell.materialized_ids),
+    }
+
+
+class TestGoldenExperiments:
+    def test_fig8_small_grid(self, request):
+        result = fig8_queries.run(
+            scale_factor=10.0, queries=("Q3", "Q5"), trace_count=3,
+        )
+        payload = {
+            "low_mtbf": [_cell_dict(c) for c in result.low_mtbf_cells],
+            "high_mtbf": [_cell_dict(c) for c in result.high_mtbf_cells],
+            "baselines": result.baselines,
+        }
+        _check(request, "fig8_small", payload)
+
+    def test_tab3_small_grid(self, request):
+        result = tab3_robustness.run(
+            scale_factor=10.0, factors=(0.5, 2.0),
+        )
+        payload = {
+            "baseline_costs": list(result.baseline_costs),
+            "rows": [
+                {
+                    "kind": row.kind.value,
+                    "factor": row.factor,
+                    "top5_baseline_positions": list(
+                        row.top5_baseline_positions
+                    ),
+                    "regret": result.regret(row),
+                }
+                for row in result.rows
+            ],
+        }
+        _check(request, "tab3_small", payload)
+
+    def test_compare_schemes_small(self, request):
+        params = default_parameters(nodes=10)
+        plan = build_query_plan("Q3", 10.0, params)
+        cluster = Cluster(nodes=10, mttr=1.0)
+        rows = compare_schemes(
+            standard_schemes(preflight_lint=False),
+            plan, "Q3", cluster,
+            mtbf=900.0, trace_count=3, base_seed=17,
+        )
+        payload = {
+            "rows": [
+                {
+                    "query": row.query,
+                    "scheme": row.scheme,
+                    "overhead_percent": (
+                        row.overhead_percent if not row.aborted
+                        else "aborted"
+                    ),
+                    "aborted": row.aborted,
+                    "materialized_ids": list(row.materialized_ids),
+                }
+                for row in rows
+            ],
+        }
+        _check(request, "compare_schemes_small", payload)

@@ -1,0 +1,128 @@
+"""Determinism guarantees of the instrumented hot paths.
+
+Two properties the observability layer must never break:
+
+1. **Results are bit-identical with recording on or off.**  The
+   instrumentation only *reads* the computation; enabling a recorder
+   must not perturb a single float in the search or the simulation.
+
+2. **Counter totals are independent of the job count.**  Worker
+   recordings merge into the parent in unit order, so ``jobs=4``
+   reports the same totals as ``jobs=1`` -- for every counter that is
+   not explicitly process-local cache state (the ``cache.*`` namespace:
+   each worker process has its own trace-set/baseline/search caches, so
+   hit/miss splits legitimately differ with the process layout).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.cost_model import ClusterStats
+from repro.core.enumeration import find_best_ft_plan
+from repro.core.plan import linear_plan
+from repro.engine.campaign import CampaignCell, run_campaign
+from repro.engine.cluster import Cluster
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def chain():
+    return linear_plan([(100.0, 5.0), (80.0, 4.0), (60.0, 3.0),
+                        (40.0, 2.0)])
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(nodes=4, mttr=1.0)
+
+
+def _cells(chain):
+    return [
+        CampaignCell(label=f"m{mtbf:g}", plan=chain, mtbf=mtbf,
+                     trace_count=3, base_seed=11)
+        for mtbf in (120.0, 600.0, 3600.0)
+    ]
+
+
+def _non_cache(counters):
+    return {name: value for name, value in counters.items()
+            if not name.startswith("cache.")}
+
+
+class TestObsDoesNotChangeResults:
+    def test_search_bit_identical(self, chain):
+        stats = ClusterStats(mtbf=900.0, mttr=1.0, nodes=4)
+        off = find_best_ft_plan([chain], stats, engine="fast")
+        with obs.recording():
+            on = find_best_ft_plan([chain], stats, engine="fast")
+        assert on.cost == off.cost
+        assert on.mat_config == off.mat_config
+        assert on.estimate.cost == off.estimate.cost
+
+    def test_naive_search_bit_identical(self, chain):
+        stats = ClusterStats(mtbf=900.0, mttr=1.0, nodes=4)
+        off = find_best_ft_plan([chain], stats, engine="naive")
+        with obs.recording():
+            on = find_best_ft_plan([chain], stats, engine="naive")
+        assert on.cost == off.cost
+        assert on.mat_config == off.mat_config
+
+    def test_campaign_bit_identical(self, chain, cluster):
+        cells = _cells(chain)
+        off = run_campaign(cells, cluster, jobs=1)
+        with obs.recording():
+            on = run_campaign(cells, cluster, jobs=1)
+        assert len(on) == len(off)
+        for row_on, row_off in zip(on, off):
+            assert row_on.runtimes == row_off.runtimes
+            assert row_on.baseline == row_off.baseline
+            assert row_on.mean_runtime == row_off.mean_runtime
+
+
+class TestMergeInvariance:
+    def test_jobs4_counters_match_jobs1(self, chain, cluster):
+        cells = _cells(chain)
+        with obs.recording() as serial:
+            rows_serial = run_campaign(cells, cluster, jobs=1)
+        with obs.recording() as parallel:
+            rows_parallel = run_campaign(cells, cluster, jobs=4)
+        # results first: the fan-out itself must be pure orchestration
+        assert [r.runtimes for r in rows_parallel] == \
+            [r.runtimes for r in rows_serial]
+        assert _non_cache(parallel.counters) == \
+            _non_cache(serial.counters)
+
+    def test_parallel_run_has_worker_tracks(self, chain, cluster):
+        with obs.recording() as recorder:
+            run_campaign(_cells(chain), cluster, jobs=4)
+        tracks = {span.track for span in recorder.spans}
+        assert any(track.startswith("campaign-worker-")
+                   for track in tracks)
+
+    def test_search_fanout_counters_match_serial(self, chain):
+        plans = [chain,
+                 linear_plan([(50.0, 2.0), (70.0, 3.0), (90.0, 4.0)])]
+        stats = ClusterStats(mtbf=600.0, mttr=1.0, nodes=4)
+        with obs.recording() as serial:
+            result_serial = find_best_ft_plan(plans, stats,
+                                              engine="fast")
+        with obs.recording() as parallel:
+            result_parallel = find_best_ft_plan(plans, stats,
+                                                engine="fast",
+                                                parallelism=2)
+        assert result_parallel.cost == result_serial.cost
+        # the search.* family is recorded once, from merged PruningStats,
+        # so it is job-count-invariant by construction
+        serial_search = {k: v for k, v in serial.counters.items()
+                         if k.startswith("search.")}
+        parallel_search = {k: v for k, v in parallel.counters.items()
+                           if k.startswith("search.")}
+        assert parallel_search == serial_search

@@ -162,3 +162,105 @@ def _all_path_costs(plan, stats):
 
     collapsed = collapse_plan(plan, const_pipe=stats.const_pipe)
     return [path_total_costs(path) for path in enumerate_paths(collapsed)]
+
+
+class TestCacheIntrospection:
+    """The fast engine's caches must be observable *and* effective."""
+
+    def test_group_cache_takes_hits_during_gray_sweep(
+        self, paper_plan, stats_hour
+    ):
+        context = SearchContext(paper_plan, stats_hour)
+        for mask in context.iter_masks():
+            context.dominant_cost()
+        assert context.group_cache_hits > 0
+        assert context.group_cache_misses > 0
+        # a Gray sweep revisits group shapes, so the cache must win
+        # at least some lookups back
+        total = context.group_cache_hits + context.group_cache_misses
+        assert context.group_cache_hits / total > 0.2
+
+    def test_runtime_cache_hits_dominate(self, paper_plan, stats_hour):
+        context = SearchContext(paper_plan, stats_hour)
+        for mask in context.iter_masks():
+            context.dominant_cost()
+        assert context.runtime_cache_misses > 0
+        assert context.runtime_cache_hits > 0
+        # distinct t(c) values are few; most lookups must be hits
+        assert context.runtime_cache_hits > context.runtime_cache_misses
+
+    def test_incremental_flips_replace_full_collapses(
+        self, paper_plan, stats_hour
+    ):
+        context = SearchContext(paper_plan, stats_hour)
+        for mask in context.iter_masks():
+            context.dominant_cost()
+        free = len(paper_plan.free_operators)
+        assert context.full_collapses == 1
+        # the Gray sweep covers every remaining mask with single-bit
+        # flips (plus at most a couple of repositioning flips)
+        assert 2 ** free - 1 <= context.incremental_flips < 2 ** free + 4
+
+    def test_counters_mapping_is_complete(self, paper_plan, stats_hour):
+        context = SearchContext(paper_plan, stats_hour)
+        for mask in context.iter_masks():
+            context.dominant_cost()
+        counters = context.counters()
+        assert counters["search.collapse.full"] == context.full_collapses
+        assert counters["cache.group.hit"] == context.group_cache_hits
+        assert counters["cache.group.miss"] == context.group_cache_misses
+        assert counters["cache.runtime.hit"] == context.runtime_cache_hits
+        assert (counters["cache.runtime.miss"]
+                == context.runtime_cache_misses)
+        assert all(value >= 0 for value in counters.values())
+
+
+class TestDominantPathMemoIntrospection:
+    def _exercised_memo(self, stats_hour):
+        from repro.core.pruning import DominantPathMemo
+
+        memo = DominantPathMemo()
+        # seed with a cheap dominant path, then probe strictly worse,
+        # dominated, and genuinely cheaper candidates
+        memo.record_dominant([5.0, 4.0, 2.0], total_cost=12.0)
+        memo.should_skip_plan([50.0, 40.0, 20.0], stats_hour)   # skip
+        memo.should_skip_plan([6.0, 5.0, 3.0], stats_hour)      # dominated
+        memo.should_skip_plan([1.0, 1.0, 1.0], stats_hour)      # pass
+        return memo
+
+    def test_memo_counts_hits_and_misses(self, stats_hour):
+        memo = self._exercised_memo(stats_hour)
+        assert memo.checks == 3
+        assert memo.hits == 2
+        assert memo.misses == 1
+        assert memo.records == 1
+        assert memo.improvements == 1
+        assert memo.hit_rate() == pytest.approx(2.0 / 3.0)
+
+    def test_memo_skip_kinds_sum_to_hits(self, stats_hour):
+        memo = self._exercised_memo(stats_hour)
+        assert memo.hits == (memo.cheap_skips + memo.dominance_skips
+                             + memo.estimated_skips)
+
+    def test_rule3_memo_counters_surface_through_obs(
+        self, paper_plan, stats_hour
+    ):
+        from repro import obs
+        from repro.core.pruning import PruningConfig
+
+        obs.disable()
+        with obs.recording() as recorder:
+            # the naive engine drives Rule 3 through the memo's
+            # should_skip_plan checks (the fast engine only consumes
+            # the scalar bestT bound, counted as rule3.plan_cutoffs)
+            find_best_ft_plan([paper_plan], stats_hour,
+                              pruning=PruningConfig.only(3),
+                              engine="naive")
+            counters = dict(recorder.counters)
+        obs.disable()
+        checks = (counters.get("search.rule3.cheap_skips", 0)
+                  + counters.get("search.rule3.dominance_skips", 0)
+                  + counters.get("search.rule3.estimated_skips", 0)
+                  + counters.get("search.rule3.memo_misses", 0))
+        assert checks > 0
+        assert counters.get("search.rule3.memo_records", 0) > 0
