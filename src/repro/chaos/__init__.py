@@ -1,0 +1,44 @@
+"""``repro.chaos`` -- fault injection for the simulator and campaign pool.
+
+Composable :class:`FaultPolicy` objects plug into the existing
+trace/executor/campaign stack:
+
+* correlated rack-scoped failure bursts layered on the exponential or
+  Weibull trace generators (:class:`CorrelatedFailures`, realized by
+  :func:`repro.engine.traces.generate_correlated_trace`);
+* checkpoint-write failures with fallback to re-execution from the last
+  durable ancestor (:class:`FlakyWrites`);
+* straggler nodes (:class:`Stragglers`);
+* campaign worker crashes with bounded retry + exponential backoff and
+  graceful degradation to serial execution (:class:`WorkerCrashes`).
+
+Every injection decision is derived from seeds and structural keys, so
+``jobs=N`` campaigns stay bit-identical to ``jobs=1`` under any policy,
+and zero-rate policies reproduce un-injected results exactly.  The
+guarantees are pinned by ``tests/test_chaos.py`` and
+``tests/test_property_chaos.py``; the catalog and semantics are
+documented in ``docs/robustness.md``.
+"""
+
+from .inject import ChaosRun, worker_crash_decision
+from .policy import (
+    PRESET_NAMES,
+    CorrelatedFailures,
+    FaultPolicy,
+    FlakyWrites,
+    Stragglers,
+    WorkerCrashes,
+    preset,
+)
+
+__all__ = [
+    "ChaosRun",
+    "CorrelatedFailures",
+    "FaultPolicy",
+    "FlakyWrites",
+    "PRESET_NAMES",
+    "Stragglers",
+    "WorkerCrashes",
+    "preset",
+    "worker_crash_decision",
+]

@@ -1,0 +1,143 @@
+"""Runtime fault-injection decisions (the chaos layer's dice).
+
+Every decision is a pure function of ``(policy seed, stream tag,
+structural key)``: which node straggles in a run, whether a checkpoint
+write attempt fails, whether a pool worker crashes on a unit.  Each
+decision opens its own tiny seeded :func:`numpy.random.default_rng`
+stream, so decisions are order-independent -- the executor may ask them
+in any order, from any process, and always gets the same answers.  That
+is what keeps ``jobs=N`` campaigns bit-identical to ``jobs=1`` with any
+fault policy active.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .policy import FaultPolicy
+
+#: stream tags keeping the decision families statistically disjoint
+STRAGGLER_STREAM = 9001
+WRITE_STREAM = 9002
+CRASH_STREAM = 9003
+#: tag for burst overlays in repro.engine.traces (reserved here so all
+#: chaos stream tags live in one place)
+BURST_STREAM = 9004
+
+
+def _uniform(*key: int) -> float:
+    """One U[0, 1) draw from the stream identified by ``key``."""
+    return float(np.random.default_rng(list(key)).random())
+
+
+def worker_crash_decision(
+    seed: int, rate: float, round_index: int, unit_index: int
+) -> bool:
+    """Should the pool worker die while executing this unit this round?
+
+    Keyed by the retry round so a unit that crashed once gets a fresh
+    draw on retry (``rate = 1.0`` keeps crashing until the campaign's
+    serial fallback, which never injects crashes, completes it).
+    """
+    if rate <= 0:
+        return False
+    return _uniform(seed, CRASH_STREAM, round_index, unit_index) < rate
+
+
+class ChaosRun:
+    """Per-simulated-run view of a policy's executor-level injections.
+
+    Built once per ``execute_prepared`` call from the policy and the
+    replayed trace's seed; the executor consults it for straggler
+    factors and checkpoint-write failures.  ``None`` (no policy, or a
+    policy with no executor-level injections) keeps the hot path
+    untouched.
+    """
+
+    __slots__ = ("policy", "trace_key", "_straggler_factors")
+
+    def __init__(self, policy: FaultPolicy, trace_key: int) -> None:
+        self.policy = policy
+        self.trace_key = trace_key
+        self._straggler_factors: Dict[int, float] = {}
+
+    @classmethod
+    def create(
+        cls,
+        policy: Optional[FaultPolicy],
+        trace_seed: Optional[int],
+    ) -> Optional["ChaosRun"]:
+        """A run view, or ``None`` when nothing executor-level is active.
+
+        ``trace_seed`` keys the run (seedless traces -- the empty
+        baseline trace, shifted workload traces -- share key 0: their
+        runs see the same deterministic fault pattern).
+        """
+        if policy is None or not policy.sim_active():
+            return None
+        return cls(policy, trace_seed if trace_seed is not None else 0)
+
+    # ------------------------------------------------------------------
+    # stragglers
+    # ------------------------------------------------------------------
+    @property
+    def has_stragglers(self) -> bool:
+        stragglers = self.policy.stragglers
+        return stragglers is not None and stragglers.active
+
+    def straggler_factor(self, node: int) -> float:
+        """Work multiplier of ``node`` for this run (1.0 = healthy)."""
+        stragglers = self.policy.stragglers
+        if stragglers is None or not stragglers.active:
+            return 1.0
+        cached = self._straggler_factors.get(node)
+        if cached is not None:
+            return cached
+        draw = _uniform(self.policy.seed, STRAGGLER_STREAM,
+                        self.trace_key, node)
+        factor = stragglers.factor if draw < stragglers.rate else 1.0
+        self._straggler_factors[node] = factor
+        return factor
+
+    # ------------------------------------------------------------------
+    # checkpoint-write failures
+    # ------------------------------------------------------------------
+    @property
+    def has_flaky_writes(self) -> bool:
+        flaky = self.policy.flaky_writes
+        return flaky is not None and flaky.active
+
+    def write_fails(self, anchor: int, node: int, attempt: int) -> bool:
+        """Does this share's ``attempt``-th materialization write fail?
+
+        Monotone in the configured rate: each attempt index has one
+        fixed uniform draw, so raising the rate only ever turns more
+        attempts into failures.  Bounded by ``max_failures`` per share
+        (the write is forced through after that), so the simulator
+        terminates even at ``rate = 1.0``.
+        """
+        flaky = self.policy.flaky_writes
+        if flaky is None or not flaky.active:
+            return False
+        if attempt >= flaky.max_failures:
+            return False
+        draw = _uniform(self.policy.seed, WRITE_STREAM, self.trace_key,
+                        anchor, node, attempt)
+        return draw < flaky.rate
+
+    def stragglers_only(self) -> "ChaosRun":
+        """A view with write failures masked out.
+
+        Used when deriving the coarse-restart scheme's attempt makespan:
+        stragglers stretch the makespan, but write-failure injection is
+        scoped to fine-grained recovery (see ``docs/robustness.md``).
+        """
+        from dataclasses import replace
+
+        restricted = ChaosRun(
+            replace(self.policy, flaky_writes=None), self.trace_key
+        )
+        restricted._straggler_factors = self._straggler_factors
+        return restricted

@@ -1,0 +1,271 @@
+"""Declarative fault-injection policies (the chaos layer's vocabulary).
+
+The paper's cost model assumes independent, exponentially distributed
+per-node failures and perfectly reliable materialization writes.  Its own
+robustness analysis (Section 5.4, Table 3) asks what happens when the
+*statistics* are wrong; this package asks what happens when the
+*assumptions* are wrong: correlated rack-scoped failure bursts (Su &
+Zhou), checkpoint writes that themselves fail (Wang & Aiken's
+write-ahead-lineage setting), straggler nodes, and crashing campaign
+workers.
+
+A :class:`FaultPolicy` is a frozen, picklable bundle of the individual
+injections.  Every random decision a policy implies is derived from the
+policy ``seed`` plus stable structural keys (trace seed, operator id,
+node, attempt index) -- never from process-local state -- so campaign
+results under injection stay bit-identical across job counts, and a
+zero-rate policy is bit-identical to running without the chaos layer at
+all.
+
+This module is dependency-free on purpose: :mod:`repro.engine` imports
+it, not the other way around.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CorrelatedFailures:
+    """Rack-scoped, time-clustered failure bursts layered on a base trace.
+
+    Burst *opportunities* arrive as a seeded Poisson process with mean
+    gap ``burst_mtbf`` (cluster-wide, not per node); each opportunity
+    fires with probability ``intensity`` (thinning).  A firing burst
+    picks a rack -- ``rack_size`` consecutive nodes starting at a
+    uniformly drawn node -- and fails every rack member at the burst
+    time plus an exponential per-node jitter with mean ``jitter``
+    (time-clustered, not simultaneous).
+
+    Thinning makes the layer *metamorphic*: for a fixed seed, raising
+    ``intensity`` (or ``rack_size``) only ever adds failures to the
+    trace, so simulated runtimes are non-decreasing in both knobs.
+    ``intensity = 0`` injects nothing and reproduces the base trace
+    bit-for-bit.
+
+    ``base_shape`` switches the *base* per-node inter-arrival
+    distribution from exponential to a Weibull with that shape (same
+    mean), matching
+    :func:`repro.engine.traces.generate_weibull_trace` exactly.
+    """
+
+    burst_mtbf: float
+    intensity: float = 1.0
+    rack_size: int = 2
+    jitter: float = 1.0
+    base_shape: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.burst_mtbf <= 0:
+            raise ValueError("burst_mtbf must be > 0")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("intensity must be within [0, 1]")
+        if self.rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if self.base_shape is not None and self.base_shape <= 0:
+            raise ValueError("base_shape must be > 0")
+
+    @property
+    def active(self) -> bool:
+        """Does this spec inject any burst failures at all?"""
+        return self.intensity > 0 and math.isfinite(self.burst_mtbf)
+
+    def effective_mtbf(self, nodes: int, base_mtbf: float) -> float:
+        """Actual per-node MTBF once bursts are layered on the base rate.
+
+        The per-node failure rate gains
+        ``intensity * min(rack_size, nodes) / (burst_mtbf * nodes)``
+        on top of ``1 / base_mtbf``.  Feeding this back into
+        :class:`~repro.core.cost_model.ClusterStats` is how an operator
+        would *compensate* for a known burst regime -- the search layer
+        itself never sees injections (asserted by the differential test
+        battery), only whatever statistics it is handed.
+        """
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if base_mtbf <= 0:
+            raise ValueError("base_mtbf must be > 0")
+        burst_rate = 0.0
+        if self.active:
+            burst_rate = (
+                self.intensity * min(self.rack_size, nodes)
+                / (self.burst_mtbf * nodes)
+            )
+        return 1.0 / (1.0 / base_mtbf + burst_rate)
+
+
+@dataclass(frozen=True)
+class FlakyWrites:
+    """Checkpoint/materialization writes that fail with probability
+    ``rate`` per attempt.
+
+    A failed write leaves the share's output non-durable: the executor
+    falls back to re-executing the share from its last *durable*
+    ancestors (their outputs survived on the storage medium; node-local
+    media additionally pay the lineage-recomputation surcharge) and
+    retries the write -- it never aborts the query.  ``max_failures``
+    bounds consecutive failed writes per share so ``rate = 1.0`` cannot
+    livelock the simulator; once the bound is hit the write is forced
+    through (and counted as a forced fallback).
+    """
+
+    rate: float
+    max_failures: int = 100
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if self.max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        return self.rate > 0
+
+
+@dataclass(frozen=True)
+class Stragglers:
+    """Slow nodes: each node independently straggles per simulated run.
+
+    With probability ``rate`` a node processes its shares ``factor``
+    times slower for the whole run -- transient hardware degradation or
+    data skew the optimizer cannot see.  Decisions are keyed by
+    (policy seed, trace seed, node), so the same node straggles in the
+    same runs no matter which process simulates them.
+    """
+
+    rate: float
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (stragglers are slow)")
+
+    @property
+    def active(self) -> bool:
+        return self.rate > 0 and self.factor > 1.0
+
+
+@dataclass(frozen=True)
+class WorkerCrashes:
+    """Campaign-pool chaos: worker processes die mid-unit.
+
+    With probability ``rate`` per (retry round, unit) a pool worker
+    hard-exits while executing that unit -- the moral equivalent of the
+    OOM killer.  Crashes are injected *only inside pool worker
+    processes*: the serial path and the campaign's serial fallback never
+    crash, which is exactly what lets
+    :func:`~repro.engine.campaign.run_campaign` guarantee no lost cells
+    and no hang (bounded retries with exponential backoff, then graceful
+    degradation to in-process execution).
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    @property
+    def active(self) -> bool:
+        return self.rate > 0
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Composable bundle of fault injections, applied campaign-wide.
+
+    ``seed`` namespaces every random decision the policy makes; two
+    policies with different seeds inject independent fault streams over
+    the same traces.  Any component left ``None`` (or configured with a
+    zero rate) injects nothing -- a fully-null policy is guaranteed
+    bit-identical to not passing a policy at all.
+    """
+
+    seed: int = 0
+    correlated: Optional[CorrelatedFailures] = None
+    flaky_writes: Optional[FlakyWrites] = None
+    stragglers: Optional[Stragglers] = None
+    worker_crashes: Optional[WorkerCrashes] = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0")
+
+    def sim_active(self) -> bool:
+        """Does the policy perturb the *simulator* (executor-level)?"""
+        return bool(
+            (self.flaky_writes is not None and self.flaky_writes.active)
+            or (self.stragglers is not None and self.stragglers.active)
+        )
+
+    def trace_active(self) -> bool:
+        """Does the policy perturb *trace generation*?"""
+        return self.correlated is not None and (
+            self.correlated.active or self.correlated.base_shape is not None
+        )
+
+    def pool_active(self) -> bool:
+        """Does the policy crash campaign pool workers?"""
+        return (
+            self.worker_crashes is not None and self.worker_crashes.active
+        )
+
+    def is_null(self) -> bool:
+        """True when the policy injects nothing anywhere."""
+        return not (
+            self.sim_active() or self.pool_active()
+            or (self.correlated is not None and self.correlated.active)
+            or self.trace_active()
+        )
+
+
+#: CLI preset names -> policy factories (see :func:`preset`)
+PRESET_NAMES = (
+    "none", "rack-bursts", "weibull", "flaky-writes", "stragglers", "all",
+)
+
+
+def preset(name: str, seed: int = 0, mtbf: float = 3600.0) -> FaultPolicy:
+    """A ready-made policy for the CLI's ``--inject`` flag.
+
+    ``mtbf`` scales the burst regime: rack bursts arrive with a mean gap
+    of half the per-node MTBF, which roughly doubles the effective
+    failure rate a 10-node cluster sees -- deviation large enough to be
+    visible, small enough that queries still finish.
+    """
+    if name == "none":
+        return FaultPolicy(seed=seed)
+    if name == "rack-bursts":
+        return FaultPolicy(seed=seed, correlated=CorrelatedFailures(
+            burst_mtbf=mtbf / 2.0, intensity=1.0, rack_size=3, jitter=2.0,
+        ))
+    if name == "weibull":
+        return FaultPolicy(seed=seed, correlated=CorrelatedFailures(
+            burst_mtbf=mtbf, intensity=0.0, base_shape=0.7,
+        ))
+    if name == "flaky-writes":
+        return FaultPolicy(seed=seed, flaky_writes=FlakyWrites(rate=0.1))
+    if name == "stragglers":
+        return FaultPolicy(seed=seed,
+                           stragglers=Stragglers(rate=0.3, factor=2.0))
+    if name == "all":
+        return FaultPolicy(
+            seed=seed,
+            correlated=CorrelatedFailures(
+                burst_mtbf=mtbf / 2.0, intensity=1.0, rack_size=3,
+                jitter=2.0,
+            ),
+            flaky_writes=FlakyWrites(rate=0.1),
+            stragglers=Stragglers(rate=0.3, factor=2.0),
+        )
+    raise ValueError(
+        f"unknown chaos preset {name!r}; choose from {PRESET_NAMES}"
+    )

@@ -8,9 +8,16 @@ Main commands:
   query on a given cluster;
 * ``simulate`` -- measure all four fault-tolerance schemes for a query
   in the failure simulator;
+* ``chaos`` -- fault-injection drill: measure the schemes clean vs.
+  under a :mod:`repro.chaos` policy (``--preset`` or individual knobs,
+  including campaign worker crashes) and report the overhead deltas
+  plus the injection counters;
 * ``lint`` -- run the static-analysis passes (``--plans`` for the plan
   and cost-model invariant linter, ``--code`` for the AST code linter;
   both by default).  Exits non-zero on error-severity findings.
+
+``experiments`` and ``simulate`` also take ``--inject PRESET`` /
+``--chaos-seed`` to run under a named fault policy.
 
 ``experiments``, ``advise``, ``simulate`` and ``workload`` accept
 ``--trace out.json`` (write a Chrome/Perfetto trace of the run) and
@@ -28,6 +35,7 @@ import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import obs
+from .chaos import PRESET_NAMES, preset
 from .core.cost_model import ClusterStats
 from .core.strategies import CostBased, standard_schemes
 from .engine.cluster import Cluster
@@ -40,6 +48,7 @@ from .experiments import (
     fig11_mtbf,
     fig12_accuracy,
     fig13_pruning,
+    robustness,
     tab2_example,
     tab3_robustness,
 )
@@ -62,6 +71,9 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable, str]] = {
               "cost-model accuracy"),
     "tab3": (tab3_robustness.run, tab3_robustness.format_table,
              "robustness to perturbed statistics"),
+    "robustness": (robustness.run, robustness.format_table,
+                   "chosen-vs-oracle regret under injected fault "
+                   "regimes"),
     "fig13": (fig13_pruning.run, fig13_pruning.format_table,
               "pruning effectiveness (slow: 43k plans)"),
     "cardval": (cardinality_validation.run,
@@ -80,6 +92,7 @@ QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "fig12": {"scale_factor": 10.0, "trace_count": 3},
     "fig13": {"max_join_orders": 40},
     "tab3": {"scale_factor": 10.0},
+    "robustness": {"query": "Q3", "scale_factor": 10.0, "trace_count": 2},
     "cardval": {"scale_factors": (0.002,)},
 }
 
@@ -136,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(results are not the paper's numbers)",
     )
     _add_jobs_argument(experiments)
+    _add_inject_arguments(experiments)
     _add_obs_arguments(experiments)
 
     advise = sub.add_parser(
@@ -161,7 +175,54 @@ def build_parser() -> argparse.ArgumentParser:
                           help="failure traces per run (default 10)")
     simulate.add_argument("--seed", type=int, default=0)
     _add_jobs_argument(simulate)
+    _add_inject_arguments(simulate)
     _add_obs_arguments(simulate)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection drill: schemes clean vs. under a policy",
+    )
+    _add_cluster_arguments(chaos)
+    chaos.add_argument("--query", choices=sorted(QUERIES), default="Q3")
+    chaos.add_argument("--scale-factor", type=float, default=40.0)
+    chaos.add_argument("--traces", type=int, default=10,
+                       help="failure traces per run (default 10)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="trace base seed (default 0)")
+    _add_jobs_argument(chaos)
+    chaos.add_argument("--preset", choices=PRESET_NAMES, default="none",
+                       help="start from a named policy, then apply the "
+                            "individual knobs below (default none)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed namespacing every injection decision "
+                            "(default 0)")
+    chaos.add_argument("--burst-mtbf", type=parse_duration, default=None,
+                       help="mean gap between rack-burst opportunities "
+                            "(enables correlated bursts)")
+    chaos.add_argument("--burst-intensity", type=float, default=None,
+                       help="probability a burst opportunity fires "
+                            "(default 1.0 when bursts are enabled)")
+    chaos.add_argument("--rack-size", type=int, default=None,
+                       help="nodes per burst rack (default 2)")
+    chaos.add_argument("--burst-jitter", type=float, default=None,
+                       help="mean per-node delay within a burst, seconds "
+                            "(default 1.0)")
+    chaos.add_argument("--weibull-shape", type=float, default=None,
+                       help="base inter-arrival Weibull shape "
+                            "(default: exponential)")
+    chaos.add_argument("--write-fail-rate", type=float, default=None,
+                       help="checkpoint-write failure probability per "
+                            "attempt")
+    chaos.add_argument("--straggler-rate", type=float, default=None,
+                       help="per-run probability a node straggles")
+    chaos.add_argument("--straggler-factor", type=float, default=None,
+                       help="slowdown factor of a straggling node "
+                            "(default 2.0)")
+    chaos.add_argument("--worker-crash-rate", type=float, default=None,
+                       help="per-unit probability a campaign pool "
+                            "worker hard-exits (requires --jobs > 1 to "
+                            "have any effect)")
+    _add_obs_arguments(chaos)
 
     workload = sub.add_parser(
         "workload",
@@ -243,6 +304,17 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
                              "serial run (default 1)")
 
 
+def _add_inject_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--inject", choices=PRESET_NAMES, default=None,
+                        metavar="PRESET",
+                        help="run under a named chaos policy "
+                             f"({', '.join(PRESET_NAMES)}); see "
+                             "docs/robustness.md")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for --inject's injection decisions "
+                             "(default 0)")
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="FILE",
                         help="write a Chrome trace_event file of the run "
@@ -289,6 +361,8 @@ def _dispatch(args) -> int:
         return _run_advise(args)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "workload":
         return _run_workload(args)
     if args.command == "replay":
@@ -314,6 +388,9 @@ def _run_experiments(args) -> int:
         return 2
     import inspect
 
+    chaos_policy = None
+    if args.inject is not None and args.inject != "none":
+        chaos_policy = preset(args.inject, seed=args.chaos_seed)
     selected = args.name or args.only
     names: List[str] = [selected] if selected else sorted(EXPERIMENTS)
     for name in names:
@@ -323,6 +400,8 @@ def _run_experiments(args) -> int:
         kwargs: Dict[str, Any] = (
             {"jobs": args.jobs} if "jobs" in accepted else {}
         )
+        if chaos_policy is not None and "chaos" in accepted:
+            kwargs["chaos"] = chaos_policy
         if args.quick:
             kwargs.update({
                 key: value
@@ -384,6 +463,10 @@ def _run_simulate(args) -> int:
         print("error: --parallelism requires --engine fast",
               file=sys.stderr)
         return 2
+    chaos_policy = None
+    if args.inject is not None and args.inject != "none":
+        chaos_policy = preset(args.inject, seed=args.chaos_seed,
+                              mtbf=args.mtbf)
     params = default_parameters(nodes=args.nodes)
     plan = build_query_plan(args.query, args.scale_factor, params)
     cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
@@ -393,16 +476,132 @@ def _run_simulate(args) -> int:
                          preflight_lint=False),
         plan, args.query, cluster,
         mtbf=args.mtbf, trace_count=args.traces, base_seed=args.seed,
-        jobs=args.jobs,
+        jobs=args.jobs, chaos=chaos_policy,
     )
+    injected = "" if chaos_policy is None else \
+        f", chaos preset '{args.inject}'"
     print(f"{args.query} @ SF {args.scale_factor:g}: overhead under "
           f"failures ({args.traces} traces, MTBF {args.mtbf:.0f}s, "
-          f"{args.nodes} nodes)")
+          f"{args.nodes} nodes{injected})")
     for row in rows:
         extra = ""
         if row.scheme == "cost-based" and row.materialized_ids:
             extra = f"   materializes {list(row.materialized_ids)}"
         print(f"  {row.scheme:<18s} {row.formatted_overhead():>9s}{extra}")
+    return 0
+
+
+def _chaos_policy_from_args(args):
+    """``--preset`` as the base, individual knobs layered on top.
+
+    Raises :class:`ValueError` on out-of-range knobs (the policy
+    dataclasses validate themselves).
+    """
+    import dataclasses
+
+    from .chaos import (
+        CorrelatedFailures,
+        FlakyWrites,
+        Stragglers,
+        WorkerCrashes,
+    )
+
+    base = preset(args.preset, seed=args.chaos_seed, mtbf=args.mtbf)
+    correlated = base.correlated
+    burst_overrides = {}
+    if args.burst_mtbf is not None:
+        burst_overrides["burst_mtbf"] = args.burst_mtbf
+    if args.burst_intensity is not None:
+        burst_overrides["intensity"] = args.burst_intensity
+    if args.rack_size is not None:
+        burst_overrides["rack_size"] = args.rack_size
+    if args.burst_jitter is not None:
+        burst_overrides["jitter"] = args.burst_jitter
+    if args.weibull_shape is not None:
+        burst_overrides["base_shape"] = args.weibull_shape
+    if burst_overrides:
+        if correlated is None:
+            # bursts disabled until --burst-mtbf makes the gap finite
+            correlated = CorrelatedFailures(
+                burst_mtbf=float("inf"), intensity=1.0,
+            )
+        correlated = dataclasses.replace(correlated, **burst_overrides)
+    flaky = base.flaky_writes
+    if args.write_fail_rate is not None:
+        flaky = FlakyWrites(rate=args.write_fail_rate)
+    stragglers = base.stragglers
+    if args.straggler_rate is not None or args.straggler_factor is not None:
+        rate = args.straggler_rate
+        if rate is None:
+            rate = stragglers.rate if stragglers is not None else 0.3
+        factor = args.straggler_factor
+        if factor is None:
+            factor = stragglers.factor if stragglers is not None else 2.0
+        stragglers = Stragglers(rate=rate, factor=factor)
+    crashes = base.worker_crashes
+    if args.worker_crash_rate is not None:
+        crashes = WorkerCrashes(rate=args.worker_crash_rate)
+    return dataclasses.replace(
+        base, correlated=correlated, flaky_writes=flaky,
+        stragglers=stragglers, worker_crashes=crashes,
+    )
+
+
+def _run_chaos(args) -> int:
+    if args.nodes < 1 or args.traces < 1:
+        print("error: --nodes and --traces must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        policy = _chaos_policy_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    params = default_parameters(nodes=args.nodes)
+    plan = build_query_plan(args.query, args.scale_factor, params)
+    cluster = Cluster(nodes=args.nodes, mttr=args.mttr)
+    schemes = standard_schemes(preflight_lint=False)
+
+    def measure(chaos_policy):
+        return compare_schemes(
+            schemes, plan, args.query, cluster,
+            mtbf=args.mtbf, trace_count=args.traces,
+            base_seed=args.seed, jobs=args.jobs, chaos=chaos_policy,
+        )
+
+    # reuse the outer recorder (--trace/--metrics) when one is on, else
+    # record locally so the injection counters can be reported
+    with obs.recording(obs.get_recorder()):
+        clean = measure(None)
+        injected = clean if policy.is_null() else measure(policy)
+        counters = obs.summary()["counters"]
+
+    print(f"{args.query} @ SF {args.scale_factor:g}: chaos drill "
+          f"({args.traces} traces, MTBF {args.mtbf:.0f}s, "
+          f"{args.nodes} nodes, preset '{args.preset}', "
+          f"chaos seed {args.chaos_seed})")
+    if policy.is_null():
+        print("  policy injects nothing -- columns are identical by "
+              "construction")
+    width = max(len(row.scheme) for row in clean) + 2
+    print(f"  {'scheme':<{width}s}{'clean':>10s}{'injected':>10s}")
+    for clean_row, injected_row in zip(clean, injected):
+        print(f"  {clean_row.scheme:<{width}s}"
+              f"{clean_row.formatted_overhead():>10s}"
+              f"{injected_row.formatted_overhead():>10s}")
+    interesting = ("chaos.", "sim.fallbacks", "campaign.retries",
+                   "campaign.serial_fallbacks", "campaign.unit_errors")
+    lines = [
+        f"  {name:<32s} {int(value):>8d}"
+        for name, value in sorted(counters.items())
+        if name.startswith(interesting)
+    ]
+    print("injection counters:" if lines else
+          "injection counters: none fired")
+    for line in lines:
+        print(line)
     return 0
 
 

@@ -20,6 +20,20 @@ grid explicit and executes it fast:
   ``(nodes, mtbf, horizon, count, base_seed)`` key, horizon extensions
   are prefix-stable, and per-process caches only memoize deterministic
   pure functions.
+* **Resilience.**  A unit that raises is reported as an error row (its
+  :class:`CellResult` carries the exception in ``error``) instead of
+  poisoning the whole campaign; completed rows are never lost.  A worker
+  *process* that dies (OOM killer, or an injected
+  :class:`~repro.chaos.WorkerCrashes` policy) triggers bounded retries
+  of the unfinished chunks with exponential backoff, then graceful
+  degradation to in-process serial execution -- no lost cells, no hang,
+  and because units are pure the merged results still equal ``jobs=1``.
+* **Fault injection.**  ``run_campaign(..., chaos=policy)`` applies a
+  :class:`~repro.chaos.FaultPolicy` to every unit: correlated bursts
+  enter the shared trace sets, executor-level injections ride on the
+  engine, and worker crashes exercise the pool resilience above.
+  Baselines stay chaos-free; a null policy is bit-identical to no
+  policy.
 * **Hot-path caches.**  Each unit reuses one
   :class:`~repro.engine.executor.PreparedExecution` across all of its
   traces (collapse/topology/lineage costs computed once, not per run),
@@ -34,12 +48,16 @@ rankings, the workload runner's per-scheme runs).
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass
 from typing import (
     Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar,
 )
 
 from .. import obs
+from ..chaos.inject import worker_crash_decision
+from ..chaos.policy import FaultPolicy
 from ..core.plan import Plan
 from ..core.strategies import (
     ConfiguredPlan,
@@ -130,7 +148,13 @@ class CampaignCell:
 @dataclass(frozen=True)
 class CellResult:
     """One (cell, scheme) row of a campaign, in the shape of the paper's
-    overhead figures plus the raw per-trace runtimes."""
+    overhead figures plus the raw per-trace runtimes.
+
+    A unit whose measurement *raised* still yields a row: ``error``
+    carries ``"ExcType: message"``, the runtimes are empty and the
+    baseline is ``inf`` -- the campaign returns partial results instead
+    of losing completed rows to one poisoned cell.
+    """
 
     cell_index: int
     label: str
@@ -141,6 +165,7 @@ class CellResult:
     runtimes: Tuple[float, ...]           #: per-trace finished runtimes
     aborted_runs: int                     #: runs that hit the limit
     materialized_ids: Tuple[int, ...]     #: free ops the target chose
+    error: Optional[str] = None           #: unit exception, if it raised
 
     @property
     def mean_runtime(self) -> float:
@@ -171,12 +196,19 @@ def _measure_unit(
     cell_index: int,
     target_index: int,
     cluster: Cluster,
+    chaos: Optional[FaultPolicy] = None,
 ) -> CellResult:
     """Measure one (cell, target) unit -- the campaign's parallel grain.
 
     Pure given its arguments: every cache it touches (trace sets,
     baselines, prepared plans) memoizes a deterministic function, so a
     unit computes the same row in any process at any time.
+
+    ``chaos`` perturbs the measurement only: correlated bursts enter the
+    generated trace set, executor-level injections ride on the engine.
+    The baseline (and the scheme configuration, which sees nothing but
+    ``stats``) stays chaos-free, so overheads are relative to the same
+    denominator as the clean campaign.
     """
     recorder = obs.get_recorder()
     with obs.span("campaign.unit", cell=cell_index, label=cell.label,
@@ -184,20 +216,34 @@ def _measure_unit(
         stats = cluster.stats(cell.mtbf, const_pipe=cell.const_pipe)
         # nobody reads the event logs of campaign runs -- mute them
         engine = SimulatedEngine(cluster, const_pipe=cell.const_pipe,
-                                 record_events=False)
+                                 record_events=False, chaos=chaos)
         baseline = cell.baseline
         if baseline is None:
+            clean_engine = engine
+            if chaos is not None:
+                clean_engine = SimulatedEngine(
+                    cluster, const_pipe=cell.const_pipe,
+                    record_events=False,
+                )
             with obs.span("campaign.baseline", cell=cell_index):
-                baseline = pure_baseline_runtime(cell.plan, engine, stats)
+                baseline = pure_baseline_runtime(
+                    cell.plan, clean_engine, stats
+                )
         if cell.traces is not None:
             traces: List[FailureTrace] = list(cell.traces)
         else:
             horizon = cell.horizon
             if horizon is None:
                 horizon = _default_horizon(baseline, cell.mtbf, cluster)
+            correlated = None
+            chaos_seed = 0
+            if chaos is not None and chaos.trace_active():
+                correlated = chaos.correlated
+                chaos_seed = chaos.seed
             traces = cached_trace_set(
                 cluster.nodes, cell.mtbf, horizon,
                 count=cell.trace_count, base_seed=cell.base_seed,
+                correlated=correlated, chaos_seed=chaos_seed,
             )
         target = cell.targets()[target_index]
         if isinstance(target, ConfiguredPlan):
@@ -257,6 +303,50 @@ def _measure_unit(
         )
 
 
+def _measure_unit_safe(
+    cell: CampaignCell,
+    cell_index: int,
+    target_index: int,
+    cluster: Cluster,
+    chaos: Optional[FaultPolicy] = None,
+) -> CellResult:
+    """:func:`_measure_unit`, demoting exceptions to error rows.
+
+    Both the serial and the pooled path go through this wrapper, so a
+    poisoned cell produces the *same* error row at every job count
+    instead of killing the campaign and losing the completed rows.
+    ``baseline = inf`` keeps the row's derived overheads infinite while
+    staying comparable across processes (``NaN`` would break the
+    ``jobs=N == jobs=1`` equality the campaign guarantees).
+    """
+    try:
+        return _measure_unit(cell, cell_index, target_index, cluster,
+                             chaos=chaos)
+    except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.add("campaign.unit_errors")
+        targets = cell.targets()
+        scheme = "?"
+        if 0 <= target_index < len(targets):
+            target = targets[target_index]
+            scheme = getattr(target, "scheme", None) or getattr(
+                target, "name", type(target).__name__
+            )
+        return CellResult(
+            cell_index=cell_index,
+            label=cell.label,
+            scheme=scheme,
+            mtbf=cell.mtbf,
+            const_pipe=cell.const_pipe,
+            baseline=float("inf"),
+            runtimes=(),
+            aborted_runs=0,
+            materialized_ids=(),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
 # ----------------------------------------------------------------------
 # process-pool plumbing (worker state installed once per worker)
 # ----------------------------------------------------------------------
@@ -264,25 +354,54 @@ _WORKER_STATE: Dict[str, Any] = {}
 
 
 def _campaign_init(cells: Sequence[CampaignCell], cluster: Cluster,
-                   observe: bool = False) -> None:
+                   observe: bool = False,
+                   chaos: Optional[FaultPolicy] = None,
+                   round_no: int = 0) -> None:
     _WORKER_STATE["cells"] = cells
     _WORKER_STATE["cluster"] = cluster
+    _WORKER_STATE["chaos"] = chaos
+    _WORKER_STATE["round_no"] = round_no
+    #: crash injection only ever fires inside pool workers -- the serial
+    #: path and the serial fallback never set this flag
+    _WORKER_STATE["in_worker"] = True
     if observe:
         # parent had a recorder on: record in this worker too; snapshots
         # ride back with each chunk result and merge in unit order
         obs.enable()
 
 
+def _maybe_crash(unit_index: int) -> None:
+    """Hard-exit the worker process when the policy says so.
+
+    ``os._exit`` (not ``sys.exit``) models a real worker death: no
+    cleanup, no exception propagation -- the parent sees a broken pool,
+    exactly like the OOM killer.  The decision is keyed by the retry
+    round, so a crashed unit draws fresh dice on every retry.
+    """
+    chaos: Optional[FaultPolicy] = _WORKER_STATE.get("chaos")
+    if (
+        chaos is None or not chaos.pool_active()
+        or not _WORKER_STATE.get("in_worker")
+    ):
+        return
+    assert chaos.worker_crashes is not None
+    if worker_crash_decision(
+        chaos.seed, chaos.worker_crashes.rate,
+        _WORKER_STATE.get("round_no", 0), unit_index,
+    ):
+        os._exit(17)
+
+
 def _campaign_chunk(
-    chunk: Sequence[Tuple[int, int]],
+    chunk: Sequence[Tuple[int, int, int]],
 ) -> Tuple[List[CellResult], Optional[obs.RecorderSnapshot]]:
-    results = [
-        _measure_unit(
+    results = []
+    for unit_index, cell_index, target_index in chunk:
+        _maybe_crash(unit_index)
+        results.append(_measure_unit_safe(
             _WORKER_STATE["cells"][cell_index], cell_index, target_index,
-            _WORKER_STATE["cluster"],
-        )
-        for cell_index, target_index in chunk
-    ]
+            _WORKER_STATE["cluster"], chaos=_WORKER_STATE.get("chaos"),
+        ))
     recorder = obs.get_recorder()
     snapshot = recorder.snapshot() if recorder is not None else None
     if recorder is not None:
@@ -320,6 +439,9 @@ def run_campaign(
     cluster: Cluster,
     jobs: int = 1,
     preflight_lint: bool = True,
+    chaos: Optional[FaultPolicy] = None,
+    max_retries: int = 3,
+    retry_backoff: float = 0.05,
 ) -> List[CellResult]:
     """Execute a sweep grid; results ordered by (cell, target).
 
@@ -331,25 +453,40 @@ def run_campaign(
     ``preflight_lint`` statically validates each distinct plan once up
     front (raising :class:`~repro.analysis.diagnostics.LintError` on
     error findings) rather than per worker.
+
+    ``chaos`` applies a :class:`~repro.chaos.FaultPolicy` to every unit
+    (and, via :class:`~repro.chaos.WorkerCrashes`, to the pool itself).
+    Results stay bit-identical across job counts under any policy.
+
+    Dead worker processes never lose rows: unfinished chunks are retried
+    up to ``max_retries`` times on a fresh pool, sleeping
+    ``retry_backoff * 2**(round - 1)`` seconds before each retry, and
+    whatever still isn't done after the last round runs serially
+    in-process (which cannot crash).  A unit that *raises* is reported
+    as an error row (:attr:`CellResult.error`) rather than retried --
+    exceptions are deterministic, crashes are not.
     """
     cells = list(cells)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be >= 0")
     if preflight_lint:
         _preflight_cells(cells, cluster)
-    units = [
-        (cell_index, target_index)
-        for cell_index, cell in enumerate(cells)
-        for target_index in range(len(cell.targets()))
-    ]
+    units: List[Tuple[int, int, int]] = []
+    for cell_index, cell in enumerate(cells):
+        for target_index in range(len(cell.targets())):
+            units.append((len(units), cell_index, target_index))
     with obs.span("campaign", cells=len(cells), units=len(units),
                   jobs=jobs):
         workers = min(jobs, len(units))
         if workers <= 1:
             return [
-                _measure_unit(cells[cell_index], cell_index, target_index,
-                              cluster)
-                for cell_index, target_index in units
+                _measure_unit_safe(cells[cell_index], cell_index,
+                                   target_index, cluster, chaos=chaos)
+                for _, cell_index, target_index in units
             ]
         # Parallel grain: one chunk per *cell* when there are enough
         # cells to keep every worker busy -- a cell's targets share its
@@ -357,36 +494,98 @@ def run_campaign(
         # in the same worker.  With fewer cells than workers, fall back
         # to one chunk per unit so a single big cell still fans out.
         if len(cells) >= workers:
-            chunks: List[List[Tuple[int, int]]] = [[] for _ in cells]
+            chunks: List[List[Tuple[int, int, int]]] = [[] for _ in cells]
             for unit in units:
-                chunks[unit[0]].append(unit)
+                chunks[unit[1]].append(unit)
         else:
             chunks = [[unit] for unit in units]
-        import multiprocessing
-
-        recorder = obs.get_recorder()
-        pool = multiprocessing.Pool(
-            processes=workers,
-            initializer=_campaign_init,
-            initargs=(cells, cluster, recorder is not None),
+        return _run_chunks_resilient(
+            cells, cluster, chunks, workers, chaos,
+            max_retries, retry_backoff,
         )
+
+
+def _run_chunks_resilient(
+    cells: Sequence[CampaignCell],
+    cluster: Cluster,
+    chunks: Sequence[Sequence[Tuple[int, int, int]]],
+    workers: int,
+    chaos: Optional[FaultPolicy],
+    max_retries: int,
+    retry_backoff: float,
+) -> List[CellResult]:
+    """Pooled chunk execution surviving worker deaths.
+
+    Each round submits the still-unfinished chunks to a fresh
+    :class:`~concurrent.futures.ProcessPoolExecutor`; a chunk whose
+    future fails (a worker died mid-chunk, breaking the pool) stays
+    pending for the next round.  After the retry budget, pending chunks
+    degrade gracefully to in-process execution.  Units are pure, so a
+    chunk computes identical rows no matter which round -- or which
+    process -- finally runs it, and the unit-order merge equals the
+    ``jobs=1`` list.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    recorder = obs.get_recorder()
+    ChunkOutcome = Tuple[List[CellResult], Optional[obs.RecorderSnapshot]]
+    outcomes: List[Optional[ChunkOutcome]] = [None] * len(chunks)
+    pending = list(range(len(chunks)))
+    for round_no in range(max_retries + 1):
+        if not pending:
+            break
+        if round_no > 0:
+            if recorder is not None:
+                recorder.add("campaign.retries", len(pending))
+            time.sleep(retry_backoff * (2.0 ** (round_no - 1)))
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_campaign_init,
+            initargs=(cells, cluster, recorder is not None, chaos,
+                      round_no),
+        )
+        still_pending: List[int] = []
         try:
-            # pool.map preserves chunk order regardless of scheduling,
-            # and chunks follow unit order, so the merge equals the
-            # serial list
-            outcomes = pool.map(_campaign_chunk, chunks)
+            futures = [
+                (index, executor.submit(_campaign_chunk, chunks[index]))
+                for index in pending
+            ]
+            for index, future in futures:
+                try:
+                    outcomes[index] = future.result()
+                except Exception:
+                    # the worker died under this chunk (or took the
+                    # whole pool down): retry it on a fresh pool
+                    still_pending.append(index)
         finally:
-            pool.close()
-            pool.join()
-        merged: List[CellResult] = []
-        for index, (chunk_results, snapshot) in enumerate(outcomes):
-            if recorder is not None and snapshot is not None:
-                # unit-order merge: counter totals equal the jobs=1 run
-                # for every counter derived from the (bit-identical)
-                # results; only cache.* effectiveness is process-local
-                recorder.merge(snapshot, track=f"campaign-worker-{index}")
-            merged.extend(chunk_results)
-        return merged
+            executor.shutdown(wait=True)
+        pending = still_pending
+    if pending:
+        # graceful degradation: finish in-process.  The serial path
+        # never injects crashes, so this terminates even at crash
+        # rate 1.0; counters recorded here land directly in the parent
+        # recorder, exactly like the jobs=1 path.
+        if recorder is not None:
+            recorder.add("campaign.serial_fallbacks", len(pending))
+        for index in pending:
+            rows = [
+                _measure_unit_safe(cells[cell_index], cell_index,
+                                   target_index, cluster, chaos=chaos)
+                for _, cell_index, target_index in chunks[index]
+            ]
+            outcomes[index] = (rows, None)
+    merged: List[CellResult] = []
+    for index, outcome in enumerate(outcomes):
+        if outcome is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"campaign chunk {index} was never run")
+        chunk_results, snapshot = outcome
+        if recorder is not None and snapshot is not None:
+            # unit-order merge: counter totals equal the jobs=1 run
+            # for every counter derived from the (bit-identical)
+            # results; only cache.* effectiveness is process-local
+            recorder.merge(snapshot, track=f"campaign-worker-{index}")
+        merged.extend(chunk_results)
+    return merged
 
 
 def _observed_map_call(

@@ -17,6 +17,7 @@ from typing import (
     Any, Dict, List, MutableSequence, Optional, Sequence, Tuple, Union,
 )
 
+from ..chaos.policy import FaultPolicy
 from ..core.cost_model import ClusterStats
 from ..core.plan import Plan
 from ..core.strategies import (
@@ -99,7 +100,13 @@ def pure_baseline_runtime(
     # deferred import: repro.core.enumeration must not import the engine
     from ..core.enumeration import _plan_fingerprint
 
-    key = (_plan_fingerprint(plan), engine.cluster, engine.const_pipe)
+    # the chaos policy enters the key defensively: a straggler-injecting
+    # engine does not produce the pure baseline (campaigns always measure
+    # baselines on a clean engine, see _measure_unit)
+    key = (
+        _plan_fingerprint(plan), engine.cluster, engine.const_pipe,
+        getattr(engine, "chaos", None),
+    )
     cached = _BASELINE_MEMO.get(key)
     if cached is not None:
         return cached
@@ -232,6 +239,7 @@ def compare_schemes(
     preflight_lint: bool = True,
     jobs: int = 1,
     baseline: Optional[float] = None,
+    chaos: Optional[FaultPolicy] = None,
 ) -> List[ComparisonRow]:
     """The full Section 5.2/5.3 measurement for one query and MTBF.
 
@@ -252,6 +260,11 @@ def compare_schemes(
     :class:`~repro.analysis.diagnostics.LintError` on error-severity
     findings; pass ``False`` to skip the check, e.g. when measuring a
     deliberately-broken plan.
+
+    ``chaos`` applies a :class:`~repro.chaos.FaultPolicy` to the
+    measurement (injected traces and executor-level faults); baselines
+    stay failure- and chaos-free.  A null policy reproduces the
+    un-injected measurement bit-for-bit.
     """
     # deferred import: campaign builds on this module
     from .campaign import CampaignCell, run_campaign
@@ -268,7 +281,8 @@ def compare_schemes(
         baseline=baseline,
     )
     results = run_campaign(
-        [cell], cluster, jobs=jobs, preflight_lint=preflight_lint
+        [cell], cluster, jobs=jobs, preflight_lint=preflight_lint,
+        chaos=chaos,
     )
     return [
         ComparisonRow(

@@ -55,6 +55,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
+from ..chaos.inject import ChaosRun
+from ..chaos.policy import FaultPolicy
 from ..core.collapse import CollapsedOperator, CollapsedPlan, collapse_plan
 from ..core.strategies import ConfiguredPlan, RecoveryMode
 from .cluster import Cluster
@@ -148,13 +150,23 @@ class SimulatedEngine:
         restarts and abort decisions are unchanged, but no events are
         logged.  Measurement loops that never read the event log (the
         simulation campaign) run measurably faster this way.
+    chaos:
+        Optional :class:`~repro.chaos.FaultPolicy`.  Its executor-level
+        injections (straggler nodes, checkpoint-write failures) perturb
+        every simulated run; decisions are keyed by the policy seed and
+        the replayed trace's seed, so results are independent of which
+        process runs the simulation.  ``None`` (and any policy whose
+        executor-level rates are zero) leaves every run bit-identical to
+        the chaos-free engine.
     """
 
     def __init__(self, cluster: Cluster, const_pipe: float = 1.0,
-                 record_events: bool = True) -> None:
+                 record_events: bool = True,
+                 chaos: Optional[FaultPolicy] = None) -> None:
         self.cluster = cluster
         self.const_pipe = const_pipe
         self.record_events = record_events
+        self.chaos = chaos
 
     def _new_timeline(self) -> Timeline:
         return Timeline() if self.record_events else MutedTimeline()
@@ -196,10 +208,14 @@ class SimulatedEngine:
                 f"trace covers {trace.nodes} nodes, cluster has "
                 f"{self.cluster.nodes}"
             )
+        chaos_run = ChaosRun.create(self.chaos, trace.seed)
+        recorder = obs.get_recorder()
+        if recorder is not None and trace.injected > 0:
+            recorder.add("chaos.injected.burst_failures", trace.injected)
         if prepared.configured.recovery is RecoveryMode.RESTART_QUERY:
-            result = self._run_coarse(prepared, trace)
+            result = self._run_coarse(prepared, trace, chaos_run=chaos_run)
         else:
-            result = self._run_fine(prepared, trace)
+            result = self._run_fine(prepared, trace, chaos_run=chaos_run)
         if result.runtime > trace.horizon:
             raise TraceExhausted(
                 f"run needed {result.runtime:.1f}s but the trace only "
@@ -221,6 +237,7 @@ class SimulatedEngine:
         self,
         prepared: PreparedExecution,
         trace: FailureTrace,
+        chaos_run: Optional[ChaosRun] = None,
     ) -> ExecutionResult:
         plan = prepared.configured.plan
         collapsed = prepared.collapsed
@@ -244,6 +261,7 @@ class SimulatedEngine:
                 checkpoints=checkpoints,
                 topo_order=topo_order,
                 ancestor_cost=ancestor_cost,
+                chaos_run=chaos_run,
             )
             completion[anchor] = done
             share_restarts += restarts
@@ -318,6 +336,7 @@ class SimulatedEngine:
         checkpoints: Optional[Dict[int, "CheckpointSpec"]] = None,
         topo_order: Optional[Sequence[int]] = None,
         ancestor_cost: Optional[Dict[int, float]] = None,
+        chaos_run: Optional[ChaosRun] = None,
     ) -> Tuple[float, int]:
         """Execute one collapsed group's shares on every node.
 
@@ -340,10 +359,26 @@ class SimulatedEngine:
             ancestor_cost[anchor]
         )
         spec = checkpoints.get(anchor)
+        recorder = obs.get_recorder()
+        # checkpoint-write injection targets group materializations; the
+        # mid-operator snapshot path keeps its own durability semantics
+        flaky = (
+            chaos_run is not None and chaos_run.has_flaky_writes
+            and spec is None and group.mat_cost > 0
+        )
+        refetch_extra = 0.0
+        if flaky:
+            refetch_extra = self.cluster.storage.refetch_cost_after_failed_write(
+                ancestor_cost[anchor]
+            )
         share_restarts = 0
+        write_fallbacks = 0
+        straggling_shares = 0
         node_done: List[float] = []
         for node in range(self.cluster.nodes):
-            scaled = self._scale_for_node(segments, node)
+            scaled = self._scale_for_node(segments, node, chaos_run)
+            if chaos_run is not None and chaos_run.straggler_factor(node) > 1.0:
+                straggling_shares += 1
             if spec is not None:
                 done, restarts = self._share_completion_chunked(
                     node=node,
@@ -355,7 +390,7 @@ class SimulatedEngine:
                     seen_failures=seen_failures,
                 )
             else:
-                done, restarts = self._share_completion(
+                done, restarts, fallbacks = self._share_completion(
                     node=node,
                     segments=scaled,
                     recovery_extra=recovery_extra,
@@ -363,7 +398,10 @@ class SimulatedEngine:
                     timeline=timeline,
                     group=anchor,
                     seen_failures=seen_failures,
+                    chaos_run=chaos_run if flaky else None,
+                    refetch_extra=refetch_extra,
                 )
+                write_fallbacks += fallbacks
             timeline.record(
                 done, EventKind.GROUP_COMPLETED, group=anchor, node=node
             )
@@ -371,17 +409,24 @@ class SimulatedEngine:
             share_restarts += restarts
         group_done = max(node_done)
         timeline.record(group_done, EventKind.GROUP_COMPLETED, group=anchor)
-        recorder = obs.get_recorder()
         if recorder is not None and spec is None and group.mat_cost > 0:
             # each node's share persists its partition of the group output
             recorder.add("sim.checkpoint.writes", self.cluster.nodes)
+        if recorder is not None and write_fallbacks > 0:
+            recorder.add("chaos.injected.write_failures", write_fallbacks)
+            recorder.add("sim.fallbacks", write_fallbacks)
+        if recorder is not None and straggling_shares > 0:
+            recorder.add("chaos.injected.straggler_shares", straggling_shares)
         return group_done, share_restarts
 
     def _scale_for_node(
-        self, segments: Sequence[_Segment], node: int
+        self, segments: Sequence[_Segment], node: int,
+        chaos_run: Optional[ChaosRun] = None,
     ) -> List[_Segment]:
-        """Apply the node's skew factor to its share durations."""
+        """Apply the node's skew (and straggler) factor to its durations."""
         factor = self.cluster.skew_of(node)
+        if chaos_run is not None:
+            factor *= chaos_run.straggler_factor(node)
         if math.isclose(factor, 1.0, rel_tol=1e-12, abs_tol=0.0):
             return list(segments)
         return [
@@ -455,16 +500,28 @@ class SimulatedEngine:
         timeline: Timeline,
         group: int,
         seen_failures: Set[Tuple[int, float]],
-    ) -> Tuple[float, int]:
+        chaos_run: Optional[ChaosRun] = None,
+        refetch_extra: float = 0.0,
+    ) -> Tuple[float, int, int]:
         """Completion time of one node's share, replaying its failures.
 
         Each attempt replays the segment sequence; any failure between
         the attempt's first working moment and its finish kills the
         attempt, and the node resumes ``MTTR`` later from segment zero
         (plus the storage medium's recovery surcharge).
+
+        When ``chaos_run`` is given (only for materializing groups under
+        an active :class:`~repro.chaos.FlakyWrites` policy), a surviving
+        attempt may still fail its materialization write: the node --
+        which did *not* fail -- immediately falls back to re-executing
+        the share from its last durable ancestors (``refetch_extra``
+        restores its inputs; no ``MTTR`` is paid) and retries the write.
+        Returns ``(finish, restarts, write fallbacks)``.
         """
         resume = 0.0
         restarts = 0
+        write_attempts = 0
+        fallbacks = 0
         extra = 0.0
         first_attempt = True
         while True:
@@ -481,7 +538,19 @@ class SimulatedEngine:
             finish = current
             failure = trace.next_failure(node, work_start)
             if failure is None or failure >= finish:
-                return finish, restarts
+                if chaos_run is not None and chaos_run.write_fails(
+                    group, node, write_attempts
+                ):
+                    write_attempts += 1
+                    fallbacks += 1
+                    resume = finish
+                    extra = refetch_extra
+                    timeline.record(
+                        finish, EventKind.SHARE_RESTARTED,
+                        group=group, node=node,
+                    )
+                    continue
+                return finish, restarts, fallbacks
             key = (node, failure)
             if key not in seen_failures:
                 seen_failures.add(key)
@@ -519,16 +588,27 @@ class SimulatedEngine:
         self,
         prepared: PreparedExecution,
         trace: FailureTrace,
+        chaos_run: Optional[ChaosRun] = None,
     ) -> ExecutionResult:
         scheme = prepared.configured.scheme
         timeline = self._new_timeline()
-        makespan = prepared._coarse_makespan
-        if makespan is None:
-            # the failure-free attempt makespan is trace-independent;
-            # compute it once per prepared plan instead of per run
+        if chaos_run is not None and chaos_run.has_stragglers:
+            # stragglers are drawn per (trace, node), so the attempt
+            # makespan is trace-dependent and the cache does not apply;
+            # write-failure injection is scoped to fine-grained recovery
+            # (see docs/robustness.md), hence stragglers_only()
             empty = FailureTrace.empty(self.cluster.nodes)
-            makespan = self._run_fine(prepared, empty).runtime
-            prepared._coarse_makespan = makespan
+            makespan = self._run_fine(
+                prepared, empty, chaos_run=chaos_run.stragglers_only()
+            ).runtime
+        else:
+            makespan = prepared._coarse_makespan
+            if makespan is None:
+                # the failure-free attempt makespan is trace-independent;
+                # compute it once per prepared plan instead of per run
+                empty = FailureTrace.empty(self.cluster.nodes)
+                makespan = self._run_fine(prepared, empty).runtime
+                prepared._coarse_makespan = makespan
         attempt_start = 0.0
         restarts = 0
         while True:

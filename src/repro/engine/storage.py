@@ -43,6 +43,19 @@ class StorageMedium:
         """
         raise NotImplementedError
 
+    def refetch_cost_after_failed_write(self, ancestor_cost: float) -> float:
+        """Cost to restore a share's inputs before re-attempting a
+        *failed materialization write* (chaos-layer injection).
+
+        The node itself survived -- only its checkpoint write did not --
+        so the question is where its inputs live: ancestors materialized
+        on a fault-tolerant medium are re-read for free, while
+        node-local inputs must be recomputed from lineage, exactly as in
+        post-failure recovery.  Media with asymmetric read/recovery
+        costs can override this.
+        """
+        return self.recovery_extra_cost(ancestor_cost)
+
 
 @dataclass(frozen=True)
 class FaultTolerantStorage(StorageMedium):

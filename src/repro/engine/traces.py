@@ -13,12 +13,15 @@ per node.  Times are in seconds from query start.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .. import obs
+from ..chaos.inject import BURST_STREAM
+from ..chaos.policy import CorrelatedFailures
 
 
 @dataclass(frozen=True)
@@ -40,12 +43,24 @@ class FailureTrace:
         silently mistaken for "no failure happened".  Traces are
         prefix-stable: regenerating with the same seed and a larger
         horizon extends each node's sequence without changing it.
+    correlated / chaos_seed:
+        The burst overlay the trace was generated with (``None`` for
+        plain traces) and the chaos seed namespacing it; kept so
+        :func:`extend_trace` can regenerate the overlay together with
+        the base streams.
+    injected:
+        Number of failure times the burst overlay added within the
+        horizon (0 for plain traces); surfaced by the executor as the
+        ``chaos.injected.burst_failures`` counter.
     """
 
     node_failures: Tuple[Tuple[float, ...], ...]
     mtbf: float
     seed: Optional[int] = None
     horizon: float = float("inf")
+    correlated: Optional[CorrelatedFailures] = None
+    chaos_seed: int = 0
+    injected: int = 0
 
     @property
     def nodes(self) -> int:
@@ -147,6 +162,41 @@ def _arrival_times(
         chunk = max(16, chunk // 4)
 
 
+def _base_node_failures(
+    nodes: int,
+    mtbf: float,
+    horizon: float,
+    seed: int,
+    shape: Optional[float] = None,
+) -> List[Tuple[float, ...]]:
+    """Per-node base failure streams (exponential, or Weibull if
+    ``shape`` is given) -- the exact streams of :func:`generate_trace` /
+    :func:`generate_weibull_trace`, factored out so the correlated
+    overlay layers on bit-identical base sequences."""
+    node_failures: List[Tuple[float, ...]] = []
+    if shape is None:
+        for node in range(nodes):
+            # one RNG stream per node, keyed by (seed, node): extending
+            # the horizon then lengthens each node's sequence without
+            # perturbing the prefix or the other nodes' streams.
+            rng = np.random.default_rng([seed, node])
+            node_failures.append(_arrival_times(
+                lambda size: rng.exponential(mtbf, size=size),
+                mtbf, horizon,
+            ))
+        return node_failures
+    # scale chosen so the mean inter-arrival equals mtbf:
+    # E[X] = scale * Gamma(1 + 1/shape)
+    scale = mtbf / math.gamma(1.0 + 1.0 / shape)
+    for node in range(nodes):
+        rng = np.random.default_rng([seed, node, 7])
+        node_failures.append(_arrival_times(
+            lambda size: scale * rng.weibull(shape, size=size),
+            mtbf, horizon,
+        ))
+    return node_failures
+
+
 def generate_trace(
     nodes: int,
     mtbf: float,
@@ -174,17 +224,10 @@ def generate_trace(
         raise ValueError("mtbf must be > 0")
     if horizon <= 0:
         raise ValueError("horizon must be > 0")
-    node_failures: List[Tuple[float, ...]] = []
-    for node in range(nodes):
-        # one RNG stream per node, keyed by (seed, node): extending the
-        # horizon then lengthens each node's sequence without perturbing
-        # the prefix or the other nodes' streams.
-        rng = np.random.default_rng([seed, node])
-        node_failures.append(_arrival_times(
-            lambda size: rng.exponential(mtbf, size=size), mtbf, horizon,
-        ))
     return FailureTrace(
-        node_failures=tuple(node_failures),
+        node_failures=tuple(
+            _base_node_failures(nodes, mtbf, horizon, seed)
+        ),
         mtbf=mtbf,
         seed=seed,
         horizon=horizon,
@@ -217,32 +260,113 @@ def generate_weibull_trace(
         raise ValueError("horizon must be > 0")
     if shape <= 0:
         raise ValueError("shape must be > 0")
-    # scale chosen so the mean inter-arrival equals mtbf:
-    # E[X] = scale * Gamma(1 + 1/shape)
-    import math
-
-    scale = mtbf / math.gamma(1.0 + 1.0 / shape)
-    node_failures: List[Tuple[float, ...]] = []
-    for node in range(nodes):
-        rng = np.random.default_rng([seed, node, 7])
-        node_failures.append(_arrival_times(
-            lambda size: scale * rng.weibull(shape, size=size),
-            mtbf, horizon,
-        ))
     return FailureTrace(
-        node_failures=tuple(node_failures),
+        node_failures=tuple(
+            _base_node_failures(nodes, mtbf, horizon, seed, shape=shape)
+        ),
         mtbf=mtbf,
         seed=seed,
         horizon=horizon,
     )
 
 
+def generate_correlated_trace(
+    nodes: int,
+    mtbf: float,
+    horizon: float,
+    seed: int,
+    spec: CorrelatedFailures,
+    chaos_seed: int = 0,
+) -> FailureTrace:
+    """Base failure streams plus rack-scoped, time-clustered bursts.
+
+    The base per-node streams are *bit-identical* to
+    :func:`generate_trace` (or :func:`generate_weibull_trace` when
+    ``spec.base_shape`` is set): a spec with ``intensity = 0`` therefore
+    reproduces the un-injected trace exactly.  On top of the base, burst
+    opportunities arrive from one seeded stream with mean gap
+    ``spec.burst_mtbf``; opportunity ``i`` draws its thinning
+    acceptance, rack start, and per-node jitters from a fresh stream
+    keyed ``(chaos_seed, seed, i)``, so the overlay is
+
+    * **prefix-stable** -- extending the horizon never changes failures
+      already inside it (same discipline as the base streams), and
+    * **metamorphic** -- raising ``intensity`` or ``rack_size`` with the
+      same seeds only ever *adds* failure times, never moves or removes
+      one (the monotonicity the property suite pins).
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if mtbf <= 0:
+        raise ValueError("mtbf must be > 0")
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    base = _base_node_failures(nodes, mtbf, horizon, seed,
+                               shape=spec.base_shape)
+    extra: Dict[int, List[float]] = {}
+    injected = 0
+    if spec.active:
+        rng = np.random.default_rng([chaos_seed, seed, BURST_STREAM])
+        opportunities = _arrival_times(
+            lambda size: rng.exponential(spec.burst_mtbf, size=size),
+            spec.burst_mtbf, horizon,
+        )
+        width = min(spec.rack_size, nodes)
+        for index, burst_time in enumerate(opportunities):
+            burst_rng = np.random.default_rng(
+                [chaos_seed, seed, BURST_STREAM, index]
+            )
+            # fixed in-stream draw order (accept, rack, jitters) keeps a
+            # burst's shape identical across intensity settings
+            if float(burst_rng.random()) >= spec.intensity:
+                continue
+            rack_start = int(burst_rng.integers(0, nodes))
+            if spec.jitter > 0:
+                jitters = burst_rng.exponential(spec.jitter, size=width)
+            else:
+                jitters = np.zeros(width)
+            for offset in range(width):
+                node = (rack_start + offset) % nodes
+                when = burst_time + float(jitters[offset])
+                if when <= horizon:
+                    extra.setdefault(node, []).append(when)
+                    injected += 1
+    node_failures: List[Tuple[float, ...]] = []
+    for node in range(nodes):
+        added = extra.get(node)
+        if added:
+            node_failures.append(
+                tuple(sorted(set(base[node]).union(added)))
+            )
+        else:
+            node_failures.append(base[node])
+    return FailureTrace(
+        node_failures=tuple(node_failures),
+        mtbf=mtbf,
+        seed=seed,
+        horizon=horizon,
+        correlated=spec,
+        chaos_seed=chaos_seed,
+        injected=injected,
+    )
+
+
 def extend_trace(trace: FailureTrace, horizon: float) -> FailureTrace:
-    """Regenerate ``trace`` with a larger horizon (same seed, same prefix)."""
+    """Regenerate ``trace`` with a larger horizon (same seed, same prefix).
+
+    Correlated traces regenerate their burst overlay along with the base
+    streams; both are prefix-stable, so the extension never changes
+    failures the caller already replayed.
+    """
     if trace.seed is None:
         raise ValueError("cannot extend a trace without a seed")
     if horizon <= trace.horizon:
         return trace
+    if trace.correlated is not None:
+        return generate_correlated_trace(
+            trace.nodes, trace.mtbf, horizon, seed=trace.seed,
+            spec=trace.correlated, chaos_seed=trace.chaos_seed,
+        )
     return generate_trace(trace.nodes, trace.mtbf, horizon, seed=trace.seed)
 
 
@@ -252,23 +376,38 @@ def generate_trace_set(
     horizon: float,
     count: int = 10,
     base_seed: int = 0,
+    correlated: Optional[CorrelatedFailures] = None,
+    chaos_seed: int = 0,
 ) -> List[FailureTrace]:
     """The paper's protocol: ``count`` traces per unique MTBF (default 10).
 
     Seeds are ``base_seed + i`` so trace sets are reproducible and
     disjoint across experiments that pick different ``base_seed`` values.
+    ``correlated`` layers a burst overlay on every trace (the chaos
+    layer's correlated-failure injection).
     """
     if count < 1:
         raise ValueError("count must be >= 1")
+    if correlated is not None:
+        return [
+            generate_correlated_trace(
+                nodes, mtbf, horizon, seed=base_seed + index,
+                spec=correlated, chaos_seed=chaos_seed,
+            )
+            for index in range(count)
+        ]
     return [
         generate_trace(nodes, mtbf, horizon, seed=base_seed + index)
         for index in range(count)
     ]
 
 
+#: cache key: the full trace protocol, including any chaos overlay
+_TraceSetKey = Tuple[int, float, float, int, int,
+                     Optional[CorrelatedFailures], int]
+
 #: process-global trace-set cache (see :func:`cached_trace_set`)
-_TRACE_SET_CACHE: Dict[Tuple[int, float, float, int, int],
-                       List[FailureTrace]] = {}
+_TRACE_SET_CACHE: Dict[_TraceSetKey, List[FailureTrace]] = {}
 _TRACE_SET_CAPACITY = 256
 #: cache effectiveness counters (process-local; see trace_cache_stats)
 _TRACE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
@@ -296,12 +435,16 @@ def cached_trace_set(
     horizon: float,
     count: int = 10,
     base_seed: int = 0,
+    correlated: Optional[CorrelatedFailures] = None,
+    chaos_seed: int = 0,
 ) -> List[FailureTrace]:
     """Process-global cached variant of :func:`generate_trace_set`.
 
-    Keyed by ``(nodes, mtbf, horizon, count, base_seed)`` so every
-    experiment cell that asks for the same protocol shares one generated
-    set instead of regenerating it per call site.  The returned list is
+    Keyed by ``(nodes, mtbf, horizon, count, base_seed)`` plus the chaos
+    overlay ``(correlated, chaos_seed)`` so every experiment cell that
+    asks for the same protocol shares one generated set instead of
+    regenerating it per call site -- and injected and clean campaigns
+    can never collide on a cache entry.  The returned list is
     the *shared* cache entry: callers may replace an entry only with an
     extension of the same trace (same seed, larger horizon) -- extensions
     are prefix-stable, so every sharer still observes identical failure
@@ -313,14 +456,16 @@ def cached_trace_set(
     misses are counted (:func:`trace_cache_stats`) and mirrored into the
     observability layer as ``cache.trace_set.hit`` / ``.miss``.
     """
-    key = (nodes, mtbf, horizon, count, base_seed)
+    key: _TraceSetKey = (nodes, mtbf, horizon, count, base_seed,
+                         correlated, chaos_seed)
     traces = _TRACE_SET_CACHE.get(key)
     if traces is None:
         if len(_TRACE_SET_CACHE) >= _TRACE_SET_CAPACITY:
             _TRACE_SET_CACHE.clear()
             _TRACE_CACHE_STATS["evictions"] += 1
         traces = generate_trace_set(
-            nodes, mtbf, horizon, count=count, base_seed=base_seed
+            nodes, mtbf, horizon, count=count, base_seed=base_seed,
+            correlated=correlated, chaos_seed=chaos_seed,
         )
         _TRACE_SET_CACHE[key] = traces
         _TRACE_CACHE_STATS["misses"] += 1

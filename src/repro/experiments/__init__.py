@@ -15,6 +15,7 @@ from . import (
     fig11_mtbf,
     fig12_accuracy,
     fig13_pruning,
+    robustness,
     tab2_example,
     tab3_robustness,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "fig11_mtbf",
     "fig12_accuracy",
     "fig13_pruning",
+    "robustness",
     "tab2_example",
     "tab3_robustness",
 ]

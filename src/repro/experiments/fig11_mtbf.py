@@ -18,8 +18,9 @@ cost-based          0          29.30     52.12
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from ..chaos import FaultPolicy
 from ..core.failure import DAY, HOUR, WEEK
 from ..engine.campaign import run_campaign
 from ..engine.cluster import Cluster
@@ -56,6 +57,7 @@ def run(
     trace_count: int = 10,
     base_seed: int = 1100,
     jobs: int = 1,
+    chaos: Optional[FaultPolicy] = None,
 ) -> Fig11Result:
     params = default_params_for(nodes)
     cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
@@ -67,7 +69,7 @@ def run(
         )
         for index, (_, mtbf) in enumerate(mtbfs)
     ]
-    results = run_campaign(grid, cluster, jobs=jobs)
+    results = run_campaign(grid, cluster, jobs=jobs, chaos=chaos)
     by_cluster: Dict[str, Tuple[OverheadCell, ...]] = {}
     baseline = 0.0
     for cell_index, (label, _) in enumerate(mtbfs):

@@ -17,8 +17,9 @@ intermediates are expensive to write.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..chaos import FaultPolicy
 from ..core.strategies import standard_schemes
 from ..engine.campaign import run_campaign
 from ..engine.cluster import Cluster
@@ -54,6 +55,7 @@ def run(
     engine_name: str = "fast",
     parallelism: int = 1,
     jobs: int = 1,
+    chaos: Optional[FaultPolicy] = None,
 ) -> Fig8Result:
     """Measure both Figure 8 panels as one campaign.
 
@@ -61,7 +63,9 @@ def run(
     search engine (results are engine-independent; see
     :func:`repro.core.enumeration.find_best_ft_plan`).  ``jobs`` fans
     the (query, MTBF, scheme) grid out over worker processes; results
-    are identical to the serial run.
+    are identical to the serial run.  ``chaos`` injects a fault policy
+    into every measurement (baselines stay clean; a null policy
+    reproduces the un-injected figure exactly).
     """
     params = default_params_for(nodes)
     cluster = Cluster(nodes=nodes, mttr=DEFAULT_MTTR)
@@ -89,7 +93,7 @@ def run(
             trace_count=trace_count, base_seed=base_seed + 1,
             schemes=schemes, baseline=baseline,
         ))
-    results = run_campaign(cells, cluster, jobs=jobs)
+    results = run_campaign(cells, cluster, jobs=jobs, chaos=chaos)
     low_cells: List[OverheadCell] = []
     high_cells: List[OverheadCell] = []
     for result in results:

@@ -12,6 +12,8 @@ The load-bearing guarantees:
   extension is written back so later sharers reuse it.
 """
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -39,6 +41,7 @@ from repro.engine.coordinator import (
 from repro.engine.executor import SimulatedEngine
 from repro.engine.timeline import MutedTimeline
 from repro.engine.traces import (
+    FailureTrace,
     cached_trace_set,
     generate_trace,
     generate_trace_set,
@@ -161,6 +164,58 @@ class TestParallelEqualsSerial:
         one = [_cell(chain, trace_count=3)]
         assert run_campaign(one, cluster, jobs=4) == \
             run_campaign(one, cluster, jobs=1)
+
+
+def _poisoned_cell(chain, baseline=300.0):
+    """A cell whose every measurement raises: its explicit trace covers
+    more nodes than the cluster, which ``execute_prepared`` rejects."""
+    return _cell(chain, traces=(FailureTrace.empty(5),), baseline=baseline)
+
+
+class TestPartialResults:
+    """A unit that raises becomes an error row; nothing else is lost."""
+
+    def test_poisoned_cell_yields_error_rows(self, chain, cluster):
+        results = run_campaign(
+            [_cell(chain), _poisoned_cell(chain)], cluster
+        )
+        healthy = [r for r in results if r.cell_index == 0]
+        poisoned = [r for r in results if r.cell_index == 1]
+        assert len(healthy) == 4 and len(poisoned) == 4
+        assert all(r.error is None for r in healthy)
+        assert healthy == run_campaign([_cell(chain)], cluster)
+        for row in poisoned:
+            assert row.error is not None
+            assert row.error.startswith("ValueError")
+            assert math.isinf(row.baseline)
+            assert not row.runtimes
+            assert row.aborted_runs == 0
+            assert not row.materialized_ids
+            assert math.isinf(row.mean_runtime)
+            assert math.isinf(row.overhead_percent)
+
+    def test_error_rows_keep_scheme_labels(self, chain, cluster):
+        results = run_campaign([_poisoned_cell(chain)], cluster)
+        clean = run_campaign([_cell(chain)], cluster)
+        assert [r.scheme for r in results] == [r.scheme for r in clean]
+
+    def test_partial_results_jobs_equal(self, chain, cluster):
+        cells = [
+            _cell(chain, trace_count=2),
+            _poisoned_cell(chain),
+            _cell(chain, base_seed=9, trace_count=2),
+        ]
+        serial = run_campaign(cells, cluster, jobs=1)
+        parallel = run_campaign(cells, cluster, jobs=3)
+        assert serial == parallel
+
+    def test_unit_errors_are_counted(self, chain, cluster):
+        from repro import obs
+
+        with obs.recording() as recorder:
+            run_campaign([_poisoned_cell(chain)], cluster)
+            counters = recorder.summary()["counters"]
+        assert counters["campaign.unit_errors"] == 4
 
 
 class TestPreparedMatchesFresh:

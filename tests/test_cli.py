@@ -34,7 +34,7 @@ class TestParser:
     def test_experiment_registry_covers_every_paper_artifact(self):
         assert set(EXPERIMENTS) == {
             "fig1", "tab2", "fig8", "fig10", "fig11", "fig12", "tab3",
-            "fig13", "cardval",
+            "fig13", "cardval", "robustness",
         }
 
 

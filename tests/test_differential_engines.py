@@ -68,6 +68,58 @@ class TestFastVsNaive:
             assert fast.mat_config == naive.mat_config, pruning
 
 
+class TestFastVsNaiveUnderChaosStats:
+    """Chaos reaches the search layer only *through statistics*.
+
+    An operator compensating for a known burst regime feeds the model
+    the regime's effective MTBF; the engines must stay bit-identical on
+    those perturbed statistics, and running a chaos-injected campaign
+    must not perturb a search happening before or after it.
+    """
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    def test_engines_bit_identical_on_effective_mtbf(self, graph_name):
+        from repro.chaos import CorrelatedFailures
+
+        plans = _candidate_plans(graph_name, 10.0)
+        for spec in (
+            CorrelatedFailures(burst_mtbf=1800.0, rack_size=3),
+            CorrelatedFailures(burst_mtbf=450.0, rack_size=5,
+                               jitter=2.0),
+            CorrelatedFailures(burst_mtbf=3600.0, intensity=0.3),
+        ):
+            effective = spec.effective_mtbf(10, 3600.0)
+            stats = ClusterStats(mtbf=effective, mttr=1.0, nodes=10)
+            fast = find_best_ft_plan(plans, stats, engine="fast")
+            naive = find_best_ft_plan(plans, stats, engine="naive")
+            assert fast.cost == naive.cost
+            assert fast.mat_config == naive.mat_config
+
+    def test_search_is_oblivious_to_injected_campaigns(self):
+        from repro.chaos import FlakyWrites, FaultPolicy, Stragglers
+        from repro.engine.campaign import CampaignCell, run_campaign
+        from repro.engine.cluster import Cluster
+
+        plans = _candidate_plans("q3", 10.0, k=2)
+        stats = ClusterStats(mtbf=900.0, mttr=1.0, nodes=10)
+        before = find_best_ft_plan(plans, stats, engine="fast")
+        policy = FaultPolicy(
+            seed=1,
+            flaky_writes=FlakyWrites(rate=0.5),
+            stragglers=Stragglers(rate=0.5, factor=3.0),
+        )
+        cluster = Cluster(nodes=10, mttr=1.0)
+        run_campaign(
+            [CampaignCell(label="q3", plan=plans[0], mtbf=900.0,
+                          trace_count=2)],
+            cluster, chaos=policy,
+        )
+        after = find_best_ft_plan(plans, stats, engine="fast")
+        assert before.cost == after.cost
+        assert before.mat_config == after.mat_config
+        assert before.materialized_ids == after.materialized_ids
+
+
 class TestFastVsNaiveExactWaste:
     def test_exact_waste_integral_matches_too(self):
         plans = _candidate_plans("q5", 10.0)

@@ -121,3 +121,80 @@ class TestGoldenExperiments:
             ],
         }
         _check(request, "compare_schemes_small", payload)
+
+    def test_zero_rate_chaos_reproduces_compare_schemes_pin(
+        self, request
+    ):
+        """A null fault policy must reproduce the clean pin *exactly*.
+
+        Same protocol as ``test_compare_schemes_small``, checked against
+        the same golden file: the chaos layer at rate zero is asserted
+        to be invisible down to the serialized output.
+        """
+        from repro.chaos import (
+            CorrelatedFailures,
+            FaultPolicy,
+            FlakyWrites,
+            Stragglers,
+            WorkerCrashes,
+        )
+
+        null_policy = FaultPolicy(
+            seed=23,
+            correlated=CorrelatedFailures(burst_mtbf=100.0,
+                                          intensity=0.0),
+            flaky_writes=FlakyWrites(rate=0.0),
+            stragglers=Stragglers(rate=0.0),
+            worker_crashes=WorkerCrashes(rate=0.0),
+        )
+        params = default_parameters(nodes=10)
+        plan = build_query_plan("Q3", 10.0, params)
+        cluster = Cluster(nodes=10, mttr=1.0)
+        rows = compare_schemes(
+            standard_schemes(preflight_lint=False),
+            plan, "Q3", cluster,
+            mtbf=900.0, trace_count=3, base_seed=17,
+            chaos=null_policy,
+        )
+        payload = {
+            "rows": [
+                {
+                    "query": row.query,
+                    "scheme": row.scheme,
+                    "overhead_percent": (
+                        row.overhead_percent if not row.aborted
+                        else "aborted"
+                    ),
+                    "aborted": row.aborted,
+                    "materialized_ids": list(row.materialized_ids),
+                }
+                for row in rows
+            ],
+        }
+        _check(request, "compare_schemes_small", payload)
+
+    def test_robustness_small_grid(self, request):
+        from repro.experiments import robustness
+
+        result = robustness.run(
+            query="Q3", scale_factor=10.0, trace_count=2,
+        )
+        payload = {
+            "query": result.query,
+            "mtbf": result.mtbf,
+            "baseline": result.baseline,
+            "config_labels": list(result.config_labels),
+            "rows": [
+                {
+                    "regime": row.regime,
+                    "effective_mtbf": row.effective_mtbf,
+                    "chosen_config": row.chosen_config,
+                    "oracle_config": row.oracle_config,
+                    "chosen_mean": row.chosen_mean,
+                    "oracle_mean": row.oracle_mean,
+                    "regret": row.regret,
+                }
+                for row in result.rows
+            ],
+        }
+        _check(request, "robustness_small", payload)

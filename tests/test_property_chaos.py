@@ -1,0 +1,201 @@
+"""Property-based (metamorphic) tests for the chaos layer.
+
+Three families of properties pin the layer down:
+
+* **Zero-fault identity** -- a policy whose every rate is zero is
+  bit-identical to running without the chaos layer, for any seed;
+* **Monotonicity** -- for fixed seeds, raising burst ``intensity`` or
+  ``rack_size`` only ever *adds* failures to a trace (never moves or
+  removes one), so simulated runtimes are non-decreasing in both knobs;
+  likewise write-failure rates only turn more attempts into failures;
+* **Schedule independence** -- ``jobs=N`` campaigns under injection are
+  bit-identical to ``jobs=1``: every injection decision is a pure
+  function of (seed, structural key), never of process or order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    ChaosRun,
+    CorrelatedFailures,
+    FaultPolicy,
+    FlakyWrites,
+    Stragglers,
+    WorkerCrashes,
+)
+from repro.core.plan import linear_plan
+from repro.core.strategies import AllMat
+from repro.engine.campaign import CampaignCell, run_campaign
+from repro.engine.cluster import Cluster
+from repro.engine.executor import SimulatedEngine
+from repro.engine.traces import generate_correlated_trace, generate_trace
+
+
+def _total_failures(trace) -> int:
+    return sum(len(failures) for failures in trace.node_failures)
+
+
+class TestZeroFaultIdentity:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           chaos_seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_intensity_trace_is_the_plain_trace(self, seed,
+                                                     chaos_seed):
+        spec = CorrelatedFailures(burst_mtbf=100.0, intensity=0.0)
+        plain = generate_trace(3, 250.0, 4000.0, seed=seed)
+        nulled = generate_correlated_trace(
+            3, 250.0, 4000.0, seed=seed, spec=spec, chaos_seed=chaos_seed,
+        )
+        assert nulled.node_failures == plain.node_failures
+        assert nulled.injected == 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           trace_seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_rate_policy_runs_bit_identical(self, seed, trace_seed):
+        policy = FaultPolicy(
+            seed=seed,
+            correlated=CorrelatedFailures(burst_mtbf=50.0, intensity=0.0),
+            flaky_writes=FlakyWrites(rate=0.0),
+            stragglers=Stragglers(rate=0.0, factor=5.0),
+            worker_crashes=WorkerCrashes(rate=0.0),
+        )
+        assert policy.is_null()
+        assert ChaosRun.create(policy, trace_seed) is None
+        chain = linear_plan([(80.0, 4.0), (80.0, 4.0)])
+        cluster = Cluster(nodes=2, mttr=1.0)
+        configured = AllMat().configure(chain, cluster.stats(120.0))
+        trace = generate_trace(2, 120.0, 30_000.0, seed=trace_seed)
+        clean = SimulatedEngine(cluster).execute(configured, trace)
+        nulled = SimulatedEngine(cluster, chaos=policy).execute(
+            configured, trace)
+        assert clean.runtime == nulled.runtime
+        assert clean.restarts == nulled.restarts
+        assert clean.share_restarts == nulled.share_restarts
+
+
+class TestMonotonicity:
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           chaos_seed=st.integers(min_value=0, max_value=100),
+           low=st.floats(min_value=0.0, max_value=1.0),
+           high=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_intensity_only_adds_failures(self, seed, chaos_seed, low,
+                                          high):
+        low, high = sorted((low, high))
+        base = dict(burst_mtbf=300.0, rack_size=2, jitter=1.0)
+        mild = generate_correlated_trace(
+            4, 500.0, 6000.0, seed=seed,
+            spec=CorrelatedFailures(intensity=low, **base),
+            chaos_seed=chaos_seed,
+        )
+        harsh = generate_correlated_trace(
+            4, 500.0, 6000.0, seed=seed,
+            spec=CorrelatedFailures(intensity=high, **base),
+            chaos_seed=chaos_seed,
+        )
+        for node in range(4):
+            assert set(mild.failures_of(node)) <= \
+                set(harsh.failures_of(node))
+        assert mild.injected <= harsh.injected
+
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           small=st.integers(min_value=1, max_value=6),
+           large=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_rack_size_only_adds_failures(self, seed, small, large):
+        small, large = sorted((small, large))
+        narrow = generate_correlated_trace(
+            6, 500.0, 6000.0, seed=seed,
+            spec=CorrelatedFailures(burst_mtbf=300.0, rack_size=small),
+        )
+        wide = generate_correlated_trace(
+            6, 500.0, 6000.0, seed=seed,
+            spec=CorrelatedFailures(burst_mtbf=300.0, rack_size=large),
+        )
+        for node in range(6):
+            assert set(narrow.failures_of(node)) <= \
+                set(wide.failures_of(node))
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_runtime_non_decreasing_in_intensity(self, seed):
+        chain = linear_plan([(60.0, 3.0), (60.0, 3.0)])
+        cluster = Cluster(nodes=3, mttr=1.0)
+        configured = AllMat().configure(chain, cluster.stats(400.0))
+        engine = SimulatedEngine(cluster)
+        runtimes = []
+        for intensity in (0.0, 0.5, 1.0):
+            spec = CorrelatedFailures(burst_mtbf=250.0,
+                                      intensity=intensity, rack_size=2)
+            trace = generate_correlated_trace(
+                3, 400.0, 60_000.0, seed=seed, spec=spec,
+            )
+            runtimes.append(engine.execute(configured, trace).runtime)
+        assert runtimes == sorted(runtimes)
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           trace_key=st.integers(min_value=0, max_value=50),
+           low=st.floats(min_value=0.0, max_value=1.0),
+           high=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_write_failures_monotone_in_rate(self, seed, trace_key, low,
+                                             high):
+        low, high = sorted((low, high))
+        mild = ChaosRun.create(FaultPolicy(
+            seed=seed, flaky_writes=FlakyWrites(rate=low),
+        ), trace_key)
+        harsh = ChaosRun.create(FaultPolicy(
+            seed=seed, flaky_writes=FlakyWrites(rate=high),
+        ), trace_key)
+        if mild is None:        # rate 0 is inactive by construction
+            return
+        for anchor in (1, 2):
+            for node in range(3):
+                for attempt in range(3):
+                    if mild.write_fails(anchor, node, attempt):
+                        assert harsh.write_fails(anchor, node, attempt)
+
+
+class TestScheduleIndependence:
+    @given(chaos_seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=3, deadline=None)
+    def test_jobs4_equals_jobs1_under_injection(self, chaos_seed):
+        policy = FaultPolicy(
+            seed=chaos_seed,
+            correlated=CorrelatedFailures(burst_mtbf=200.0, rack_size=2,
+                                          jitter=1.0),
+            flaky_writes=FlakyWrites(rate=0.2),
+            stragglers=Stragglers(rate=0.3, factor=2.0),
+        )
+        chain = linear_plan([(80.0, 4.0), (80.0, 4.0)])
+        cluster = Cluster(nodes=3, mttr=1.0)
+        cells = [
+            CampaignCell(label="chain", plan=chain, mtbf=mtbf,
+                         trace_count=2, base_seed=base_seed)
+            for mtbf, base_seed in ((150.0, 0), (600.0, 7))
+        ]
+        serial = run_campaign(cells, cluster, jobs=1, chaos=policy)
+        parallel = run_campaign(cells, cluster, jobs=4, chaos=policy)
+        assert serial == parallel
+
+    def test_jobs4_equals_jobs1_with_worker_crashes(self):
+        policy = FaultPolicy(
+            seed=11,
+            stragglers=Stragglers(rate=0.5, factor=2.0),
+            worker_crashes=WorkerCrashes(rate=0.4),
+        )
+        chain = linear_plan([(80.0, 4.0), (80.0, 4.0)])
+        cluster = Cluster(nodes=3, mttr=1.0)
+        cells = [
+            CampaignCell(label="chain", plan=chain, mtbf=300.0,
+                         trace_count=2, base_seed=seed)
+            for seed in (0, 5, 10)
+        ]
+        serial = run_campaign(cells, cluster, jobs=1, chaos=policy)
+        parallel = run_campaign(cells, cluster, jobs=4, chaos=policy,
+                                retry_backoff=0.0)
+        assert serial == parallel
