@@ -1,16 +1,25 @@
-"""Static analysis: plan/invariant linting and custom AST code rules.
+"""Static analysis: plan/invariant linting, AST rules, and flow analysis.
 
-Two passes over one diagnostics framework:
+Four passes over one diagnostics framework:
 
 * :mod:`repro.analysis.plan_lint` -- validates :class:`~repro.core.plan.Plan`
   DAGs, materialization configurations, collapsed plans, and the cost
   model's invariants without executing anything (rules ``P0xx``/``M0xx``);
 * :mod:`repro.analysis.code_lint` -- ``ast``-based rules for repo-specific
   hazards such as unseeded RNGs in the deterministic simulator (rules
-  ``C0xx``).
+  ``C0xx``);
+* :mod:`repro.analysis.flow` -- whole-program call-graph + dataflow
+  analysis: seed threading (``D0xx``), pool safety (``S0xx``) and merge
+  order (``O0xx``);
+* :mod:`repro.analysis.sanitizer` -- the *runtime* counterpart of the
+  flow pass: fingerprint-based jobs=1 vs jobs=N replay comparison with
+  per-unit divergence localization (imported lazily by the CLI -- it
+  pulls in the campaign engine).
 
-Run both from the command line with ``python -m repro lint``; the rule
-catalog is documented in ``docs/analysis.md``.
+Run the static passes from the command line with ``python -m repro
+lint`` (``--baseline FILE`` suppresses recorded findings) and the
+sanitizer with ``python -m repro sanitize``; the rule catalog is
+documented in ``docs/analysis.md``.
 """
 
 from .code_lint import (
@@ -28,13 +37,18 @@ from .diagnostics import (
     Location,
     Rule,
     Severity,
+    apply_baseline,
+    baseline_key,
     format_json,
     format_text,
     has_errors,
+    load_baseline,
     max_severity,
     register_rule,
     require_clean,
+    write_baseline,
 )
+from .flow import lint_flow
 from .plan_lint import (
     default_stats_grid,
     lint_collapsed,
@@ -52,6 +66,8 @@ __all__ = [
     "Location",
     "Rule",
     "Severity",
+    "apply_baseline",
+    "baseline_key",
     "default_stats_grid",
     "format_json",
     "format_text",
@@ -59,14 +75,17 @@ __all__ = [
     "iter_python_files",
     "lint_collapsed",
     "lint_file",
+    "lint_flow",
     "lint_invariants",
     "lint_mat_config",
     "lint_paths",
     "lint_plan",
     "lint_source",
+    "load_baseline",
     "max_severity",
     "module_is_deterministic",
     "preflight_check",
     "register_rule",
     "require_clean",
+    "write_baseline",
 ]

@@ -77,8 +77,13 @@ SILENT_EXCEPT = register_rule(
 )
 
 #: modules whose execution must be deterministic: the simulator, the
-#: engine around it, and the optimizer core it shares cost code with.
-DETERMINISTIC_PACKAGES = ("engine", "core")
+#: engine around it, the optimizer core it shares cost code with, and
+#: the observability layer whose merged counters must replay.
+DETERMINISTIC_PACKAGES = ("engine", "core", "obs")
+
+#: path suffixes exempt from the wall-clock rule inside those packages:
+#: the recorder legitimately timestamps spans with ``perf_counter``.
+WALL_CLOCK_ALLOWLIST = ("obs/recorder.py",)
 
 #: identifier fragments that mark a float expression as cost-valued
 _COST_NAME = re.compile(
@@ -149,6 +154,26 @@ class _Visitor(ast.NodeVisitor):
         self.filename = filename
         self.deterministic = deterministic
         self.sink = DiagnosticSink()
+        #: bare local name -> dotted original, for wall-clock functions
+        #: imported directly (``from time import monotonic [as tick]``)
+        self._bare_wall_clock: dict = {}
+        #: local alias -> real module (``import time as t``)
+        self._module_aliases: dict = {}
+
+    # -- imports (feed the wall-clock rule) ----------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname and "." not in alias.name:
+                self._module_aliases[alias.asname] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = (node.module or "").split(".")[-1]
+        for alias in node.names:
+            if (module, alias.name) in _WALL_CLOCK_CALLS:
+                local = alias.asname or alias.name
+                self._bare_wall_clock[local] = f"{module}.{alias.name}"
+        self.generic_visit(node)
 
     # -- helpers -------------------------------------------------------
     def _emit(self, rule, node: ast.AST, message: str) -> None:
@@ -201,6 +226,17 @@ class _Visitor(ast.NodeVisitor):
         if not self.deterministic:
             return
         parts = name.split(".")
+        # bare name bound by `from time import monotonic [as tick]`
+        if len(parts) == 1 and name in self._bare_wall_clock:
+            self._emit(
+                WALL_CLOCK, node,
+                f"{name}() ({self._bare_wall_clock[name]}) reads the "
+                "wall clock inside a deterministic module",
+            )
+            return
+        # resolve `import time as t` aliases before matching
+        if parts[0] in self._module_aliases:
+            parts = [self._module_aliases[parts[0]]] + parts[1:]
         if len(parts) >= 2 and (parts[-2], parts[-1]) in _WALL_CLOCK_CALLS:
             self._emit(
                 WALL_CLOCK, node,
@@ -270,11 +306,15 @@ class _Visitor(ast.NodeVisitor):
 def module_is_deterministic(filename: str) -> bool:
     """Should the wall-clock rule apply to this file?
 
-    True for modules under the simulator/optimizer packages
-    (:data:`DETERMINISTIC_PACKAGES`); profiling and calibration code in
+    True for modules under the simulator/optimizer/observability
+    packages (:data:`DETERMINISTIC_PACKAGES`), except the explicit
+    :data:`WALL_CLOCK_ALLOWLIST` (the recorder timestamps spans with
+    ``perf_counter`` by design); profiling and calibration code in
     ``stats/`` legitimately reads real clocks.
     """
     normalized = filename.replace(os.sep, "/")
+    if normalized.endswith(WALL_CLOCK_ALLOWLIST):
+        return False
     return any(f"/{pkg}/" in normalized or normalized.startswith(f"{pkg}/")
                for pkg in DETERMINISTIC_PACKAGES)
 

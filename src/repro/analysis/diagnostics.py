@@ -167,16 +167,98 @@ def format_text(diagnostics: Sequence[Diagnostic]) -> str:
     return "\n".join(lines)
 
 
+#: schema tag pinned into every JSON export; bump only on breaking
+#: shape changes so downstream tooling can assert compatibility.
+JSON_SCHEMA = "repro-lint/1"
+
+
+def _export_order(diagnostic: Diagnostic) -> tuple:
+    location = diagnostic.location
+    return (
+        location.file or "",
+        location.plan or "",
+        location.obj or "",
+        location.line or 0,
+        location.column or 0,
+        diagnostic.rule_id,
+        diagnostic.message,
+    )
+
+
 def format_json(diagnostics: Sequence[Diagnostic]) -> str:
-    """Render findings as a JSON document (stable keys, for tooling)."""
+    """Render findings as a JSON document for tooling.
+
+    The export is fully deterministic: object keys are sorted and the
+    findings themselves are emitted in (file, plan, line, rule) order,
+    independent of the order the passes produced them -- so diffs of
+    exported reports reflect real changes only.
+    """
+    ordered = sorted(diagnostics, key=_export_order)
     payload = {
-        "findings": [d.as_dict() for d in diagnostics],
+        "schema": JSON_SCHEMA,
+        "findings": [d.as_dict() for d in ordered],
         "errors": sum(1 for d in diagnostics
                       if d.severity >= Severity.ERROR),
         "warnings": sum(1 for d in diagnostics
                         if d.severity == Severity.WARNING),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# baselines: land a strict pass without blocking on pre-existing debt
+# ----------------------------------------------------------------------
+#: baseline file schema tag (independent of the findings export);
+#: named SUPPRESSION_* because 'baseline' is a cost-valued identifier
+#: fragment to the C004 rule
+SUPPRESSION_SCHEMA = "repro-lint-baseline/1"
+
+
+def baseline_key(diagnostic: Diagnostic) -> str:
+    """Stable identity of a finding for baseline comparison.
+
+    Deliberately excludes the line/column so that unrelated edits above
+    a baselined finding do not resurface it; two findings of the same
+    rule with the same message in the same file still collapse to one
+    key, which is the behaviour a suppression file wants.
+    """
+    location = diagnostic.location
+    where = location.file or " ".join(
+        part for part in (location.plan, location.obj) if part
+    )
+    return f"{diagnostic.rule_id}|{where}|{diagnostic.message}"
+
+
+def write_baseline(path: str,
+                   diagnostics: Sequence[Diagnostic]) -> int:
+    """Record current findings at ``path``; returns the key count."""
+    keys = sorted({baseline_key(d) for d in diagnostics})
+    payload = {"schema": SUPPRESSION_SCHEMA, "keys": keys}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(keys)
+
+
+def load_baseline(path: str) -> "set[str]":
+    """Read a baseline file written by :func:`write_baseline`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != \
+            SUPPRESSION_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {SUPPRESSION_SCHEMA} baseline file"
+        )
+    keys = payload.get("keys", [])
+    if not isinstance(keys, list):
+        raise ValueError(f"{path}: malformed baseline key list")
+    return set(keys)
+
+
+def apply_baseline(diagnostics: Sequence[Diagnostic],
+                   baseline: "set[str]") -> List[Diagnostic]:
+    """Drop findings whose :func:`baseline_key` is baselined."""
+    return [d for d in diagnostics if baseline_key(d) not in baseline]
 
 
 class LintError(ValueError):

@@ -1,0 +1,75 @@
+"""Whole-program flow analysis: seed threading, pool safety, merge order.
+
+Where :mod:`repro.analysis.code_lint` checks one statement at a time,
+this subpackage builds a module-level call graph over the analyzed tree
+(:mod:`repro.analysis.flow.callgraph`) and runs three interprocedural
+rule families on it:
+
+* ``D0xx`` (:mod:`.seedflow`) -- every RNG construction must be
+  reachable from an explicit seed parameter or derivation;
+* ``S0xx`` (:mod:`.poolsafety`) -- pool payloads must pickle, workers
+  must not mutate unsanctioned module globals, ``os._exit`` stays in
+  ``chaos``;
+* ``O0xx`` (:mod:`.mergeorder`) -- set iteration must not feed
+  order-sensitive accumulation, directory listings must be sorted.
+
+Entry point: :func:`lint_flow` (mirrors ``code_lint.lint_paths``); run
+from the CLI with ``python -m repro lint --flow``.  The runtime
+counterpart -- fingerprint-based replay divergence localization -- lives
+in :mod:`repro.analysis.sanitizer`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..code_lint import iter_python_files
+from ..diagnostics import Diagnostic
+from .callgraph import FunctionInfo, ModuleInfo, Program
+from .mergeorder import check_merge_order
+from .poolsafety import SANCTIONED_WORKER_GLOBALS, check_pool_safety
+from .seedflow import check_seed_flow
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "SANCTIONED_WORKER_GLOBALS",
+    "check_merge_order",
+    "check_pool_safety",
+    "check_seed_flow",
+    "lint_flow",
+    "lint_flow_sources",
+]
+
+
+def _run_all(program: Program) -> List[Diagnostic]:
+    diagnostics = (
+        check_seed_flow(program)
+        + check_pool_safety(program)
+        + check_merge_order(program)
+    )
+    return sorted(
+        diagnostics,
+        key=lambda d: (d.location.file or "", d.location.line or 0,
+                       d.location.column or 0, d.rule_id),
+    )
+
+
+def lint_flow(paths: Sequence[str]) -> List[Diagnostic]:
+    """Run the D/S/O families over every ``.py`` file under ``paths``.
+
+    All files are loaded into one :class:`Program` first so calls across
+    modules resolve; passing a partial tree narrows the call graph and
+    with it the analysis (documented limitation).
+    """
+    program = Program.build(iter_python_files(paths))
+    return _run_all(program)
+
+
+def lint_flow_sources(
+    sources: Sequence[Tuple[str, str]],
+) -> List[Diagnostic]:
+    """As :func:`lint_flow`, over ``(source, filename)`` pairs (tests)."""
+    program = Program.from_sources(sources)
+    return _run_all(program)

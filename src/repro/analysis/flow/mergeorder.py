@@ -1,0 +1,371 @@
+"""O-rules: iteration order feeding merge paths must be stabilized.
+
+Campaign rows, recorder merges and cost roll-ups are compared
+bit-for-bit across job counts.  Iterating a ``set`` (whose order is a
+function of hash seeding and insertion history) into any order-sensitive
+accumulation -- float sums, list building, emitted output -- silently
+breaks that contract, as does enumerating a directory without sorting.
+
+* ``O001`` -- a loop or comprehension iterates a statically set-typed
+  value and its body feeds an order-sensitive sink (``append``/
+  ``extend``/``insert``, arithmetic ``+=``/``-=``/``*=``, ``yield``,
+  ``sum``/``list``/``tuple``/``join`` over the generator).  Bodies that
+  only do order-independent work -- set/dict stores keyed by the loop
+  variable, ``.add``/``.update``, ``|=``, membership tests -- are not
+  flagged.
+* ``O002`` -- a filesystem enumeration (``os.listdir``, ``os.scandir``,
+  ``glob.glob``/``iglob``, ``Path.iterdir``/``glob``/``rglob``) whose
+  result is consumed without an immediate ``sorted(...)`` wrap (or an
+  order-erasing consumer such as ``set``/``len``/membership).
+
+Set-typedness is inferred, conservatively, from literals
+(``{a, b}``, set comprehensions), ``set(...)``/``frozenset(...)``
+constructor calls, ``Set[...]``/``FrozenSet[...]`` annotations on
+parameters and assignments, set-operator expressions (``|``, ``&``,
+``-``, ``^`` over a known set), and unpacking ``.items()``/``.values()``
+of a ``Dict[_, Set[_]]``-annotated mapping.  Anything the inference
+cannot prove to be a set is left alone -- the rule prefers false
+negatives over noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Location,
+    Severity,
+    register_rule,
+)
+from .callgraph import FunctionInfo, Program, dotted_name
+
+UNSTABLE_SET_ORDER = register_rule(
+    "O001", Severity.ERROR,
+    "set iteration feeds order-sensitive accumulation",
+    "wrap the iterable in sorted(...) before accumulating; set order "
+    "varies with hash seeding and insertion history, so float sums and "
+    "built lists diverge between runs and job counts",
+)
+UNSORTED_FS_ENUMERATION = register_rule(
+    "O002", Severity.ERROR,
+    "filesystem enumeration consumed without sorted()",
+    "os.listdir/glob/iterdir order is filesystem-dependent; wrap the "
+    "call in sorted(...) before iterating or storing the result",
+)
+
+_LOOP = (ast.For, ast.AsyncFor)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+
+#: consumers of a generator/list over a set that stay order-sensitive
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"sum", "list", "tuple", "join"})
+#: consumers that erase or impose order -- never findings
+_ORDER_ERASING_CONSUMERS = frozenset({
+    "sorted", "set", "frozenset", "len", "min", "max", "any", "all",
+    "sum_unordered",  # reserved escape hatch
+})
+
+_FS_ENUMERATION_CALLS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+_FS_ENUMERATION_METHODS = frozenset({"iterdir", "rglob"})
+_SET_ANNOTATION_NAMES = frozenset({
+    "Set", "FrozenSet", "MutableSet", "AbstractSet", "set", "frozenset",
+})
+_DICT_ANNOTATION_NAMES = frozenset({"Dict", "dict", "Mapping",
+                                    "MutableMapping", "DefaultDict"})
+
+
+def _annotation_base(annotation: ast.AST) -> Optional[str]:
+    name = dotted_name(annotation)
+    if name is None:
+        return None
+    return name.split(".")[-1]
+
+
+def _is_set_annotation(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    return _annotation_base(annotation) in _SET_ANNOTATION_NAMES
+
+
+def _is_dict_of_set_annotation(annotation: Optional[ast.AST]) -> bool:
+    """``Dict[_, Set[_]]`` and friends."""
+    if not isinstance(annotation, ast.Subscript):
+        return False
+    if _annotation_base(annotation.value) not in _DICT_ANNOTATION_NAMES:
+        return False
+    slice_node: ast.AST = annotation.slice
+    if isinstance(slice_node, ast.Index):  # pragma: no cover - py<3.9
+        slice_node = slice_node.value  # type: ignore[attr-defined]
+    if isinstance(slice_node, ast.Tuple) and len(slice_node.elts) == 2:
+        return _is_set_annotation(slice_node.elts[1])
+    return False
+
+
+def _is_set_constructor(expr: ast.AST) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+class _SetTypes:
+    """Per-function conservative set-typedness facts."""
+
+    def __init__(self, function: FunctionInfo) -> None:
+        self.set_names: Set[str] = set()
+        self.dict_of_set_names: Set[str] = set()
+        self._collect(function)
+
+    def _collect(self, function: FunctionInfo) -> None:
+        node = function.node
+        args = node.args  # type: ignore[attr-defined]
+        for arg in (list(getattr(args, "posonlyargs", []))
+                    + list(args.args) + list(args.kwonlyargs)):
+            if _is_set_annotation(arg.annotation):
+                self.set_names.add(arg.arg)
+            elif _is_dict_of_set_annotation(arg.annotation):
+                self.dict_of_set_names.add(arg.arg)
+        # two passes so a later loop can use an earlier annotation
+        for stmt in ast.walk(node):
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                if _is_set_annotation(stmt.annotation):
+                    self.set_names.add(stmt.target.id)
+                elif _is_dict_of_set_annotation(stmt.annotation):
+                    self.dict_of_set_names.add(stmt.target.id)
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign):
+                if self.is_set_expr(stmt.value):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.set_names.add(target.id)
+            targets = _loop_targets(stmt)
+            if targets is not None:
+                target, iterable = targets
+                self._type_loop_target(target, iterable)
+            elif isinstance(stmt, _COMPREHENSIONS):
+                for generator in stmt.generators:
+                    self._type_loop_target(generator.target,
+                                           generator.iter)
+
+    def _type_loop_target(self, target: ast.AST,
+                          iterable: ast.AST) -> None:
+        """``for k, v in dict_of_set.items()`` makes ``v`` a set."""
+        if not (isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Attribute)
+                and isinstance(iterable.func.value, ast.Name)
+                and iterable.func.value.id in self.dict_of_set_names):
+            return
+        method = iterable.func.attr
+        if (method == "items"
+                and isinstance(target, (ast.Tuple, ast.List))
+                and len(target.elts) == 2
+                and isinstance(target.elts[1], ast.Name)):
+            self.set_names.add(target.elts[1].id)
+        elif method == "values" and isinstance(target, ast.Name):
+            self.set_names.add(target.id)
+
+    def is_set_expr(self, expr: ast.AST) -> bool:
+        if _is_set_constructor(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.set_names
+        if (isinstance(expr, ast.Subscript)
+                and isinstance(expr.value, ast.Name)):
+            return expr.value.id in self.dict_of_set_names
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "values"
+                and isinstance(expr.func.value, ast.Name)):
+            return expr.func.value.id in self.dict_of_set_names
+        if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self.is_set_expr(expr.left)
+                    or self.is_set_expr(expr.right))
+        return False
+
+
+def _loop_targets(
+    stmt: ast.AST,
+) -> Optional[Tuple[ast.AST, ast.AST]]:
+    if isinstance(stmt, _LOOP):
+        return stmt.target, stmt.iter
+    return None
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _names_in(expr: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+def _body_is_order_sensitive(body: Iterable[ast.stmt],
+                             loop_names: Set[str]) -> Optional[ast.AST]:
+    """First order-sensitive statement in a loop body, or ``None``.
+
+    Order-independent work -- dict/set stores keyed by the loop
+    variable, ``.add``/``.update``/``discard``, set-union ``|=``,
+    membership tests, conditionals around such work -- is skipped.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign):
+                if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult,
+                                        ast.Div)):
+                    # d[x] += ... keyed by the loop var is a grouped
+                    # accumulation -- still order-sensitive for floats,
+                    # but x-keyed stores see each key once per element,
+                    # so only flag scalar accumulators.
+                    if isinstance(node.target, ast.Name):
+                        return node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and loop_names & _names_in(target.slice)):
+                        continue  # keyed by the loop variable
+                    if isinstance(target, ast.Subscript):
+                        return node
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in (
+                        "append", "extend", "insert", "write"):
+                    return node
+                if dotted_name(func) == "print":
+                    return node
+    return None
+
+
+def _parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _consumer_name(call: ast.Call) -> Optional[str]:
+    """Bare consumer name: ``sum`` for ``sum(...)``, ``join`` for
+    ``", ".join(...)``."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    name = dotted_name(call.func)
+    return name.split(".")[-1] if name else None
+
+
+def _check_function_o001(function: FunctionInfo,
+                         sink: DiagnosticSink) -> None:
+    types = _SetTypes(function)
+    parents = _parent_map(function.node)
+
+    for node in ast.walk(function.node):
+        # explicit for-loops over a set expression
+        if isinstance(node, _LOOP) and types.is_set_expr(node.iter):
+            sensitive = _body_is_order_sensitive(
+                node.body, _target_names(node.target)
+            )
+            if sensitive is not None:
+                sink.emit(
+                    UNSTABLE_SET_ORDER,
+                    Location(file=function.filename,
+                             line=node.iter.lineno,
+                             column=node.iter.col_offset),
+                    f"{function.qualname} iterates a set into an "
+                    "order-sensitive accumulation (line "
+                    f"{getattr(sensitive, 'lineno', node.lineno)}); "
+                    "wrap the iterable in sorted(...)",
+                )
+            continue
+        # comprehensions / generators over a set expression
+        if isinstance(node, _COMPREHENSIONS):
+            if not any(types.is_set_expr(gen.iter)
+                       for gen in node.generators):
+                continue
+            if isinstance(node, (ast.SetComp, ast.DictComp)):
+                continue  # produce unordered values -- order-neutral
+            parent = parents.get(node)
+            if isinstance(node, ast.GeneratorExp):
+                if not isinstance(parent, ast.Call):
+                    continue
+                consumer = _consumer_name(parent)
+                if consumer in _ORDER_ERASING_CONSUMERS:
+                    continue
+                if consumer not in _ORDER_SENSITIVE_CONSUMERS:
+                    continue
+            else:  # ListComp: an ordered container from unordered input
+                if (isinstance(parent, ast.Call)
+                        and _consumer_name(parent)
+                        in _ORDER_ERASING_CONSUMERS):
+                    continue
+            sink.emit(
+                UNSTABLE_SET_ORDER,
+                Location(file=function.filename,
+                         line=node.lineno, column=node.col_offset),
+                f"{function.qualname} accumulates over a set in "
+                "nondeterministic order; sort the iterable first",
+            )
+
+
+def _is_fs_enumeration(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name in _FS_ENUMERATION_CALLS:
+        return True
+    if (isinstance(call.func, ast.Attribute)
+            and call.func.attr in _FS_ENUMERATION_METHODS):
+        return True
+    # path.glob(...) -- only when the receiver looks path-like, to keep
+    # random_obj.glob from tripping the rule
+    if (isinstance(call.func, ast.Attribute)
+            and call.func.attr == "glob"
+            and isinstance(call.func.value, ast.Name)
+            and "path" in call.func.value.id.lower()):
+        return True
+    return False
+
+
+def _check_function_o002(function: FunctionInfo,
+                         sink: DiagnosticSink) -> None:
+    parents = _parent_map(function.node)
+    for call, _resolved in function.calls:
+        if not _is_fs_enumeration(call):
+            continue
+        parent = parents.get(call)
+        if isinstance(parent, ast.Call):
+            consumer = _consumer_name(parent)
+            if consumer in _ORDER_ERASING_CONSUMERS:
+                continue
+        if isinstance(parent, ast.Compare):  # membership test
+            continue
+        sink.emit(
+            UNSORTED_FS_ENUMERATION,
+            Location(file=function.filename,
+                     line=call.lineno, column=call.col_offset),
+            f"{function.qualname} consumes "
+            f"{dotted_name(call.func) or 'a directory listing'} without "
+            "sorted(); enumeration order is filesystem-dependent",
+        )
+
+
+def check_merge_order(program: Program) -> List[Diagnostic]:
+    """Run O001/O002 over an analyzed program."""
+    sink = DiagnosticSink()
+    for function in program.sorted_functions():
+        _check_function_o001(function, sink)
+        _check_function_o002(function, sink)
+    return sink.diagnostics

@@ -32,6 +32,20 @@ def _uniform(*key: int) -> float:
     return float(np.random.default_rng(list(key)).random())
 
 
+def crash_worker_process(status: int = 17) -> None:
+    """Hard-kill the current process -- the chaos layer's crash primitive.
+
+    ``os._exit`` (not ``sys.exit``): no cleanup, no exception
+    propagation -- the parent sees a broken pool, exactly like the OOM
+    killer.  This is deliberately the *only* hard-exit call site in the
+    tree (enforced by lint rule S003); everything outside the chaos
+    layer must raise instead.
+    """
+    import os
+
+    os._exit(status)
+
+
 def worker_crash_decision(
     seed: int, rate: float, round_index: int, unit_index: int
 ) -> bool:

@@ -13,8 +13,14 @@ Main commands:
   including campaign worker crashes) and report the overhead deltas
   plus the injection counters;
 * ``lint`` -- run the static-analysis passes (``--plans`` for the plan
-  and cost-model invariant linter, ``--code`` for the AST code linter;
-  both by default).  Exits non-zero on error-severity findings.
+  and cost-model invariant linter, ``--code`` for the AST code linter,
+  ``--flow`` for the whole-program seed-flow/pool-safety/merge-order
+  analysis; all by default).  ``--baseline FILE`` fails only on findings
+  not recorded in the file (write one with ``--write-baseline``).
+  Exits non-zero on error-severity findings;
+* ``sanitize`` -- runtime replay sanitizer: run a workload at jobs=1 and
+  jobs=N, fingerprint every unit result, and report the first divergent
+  unit with its span path (clean exit 0, divergence exit 1).
 
 ``experiments`` and ``simulate`` also take ``--inject PRESET`` /
 ``--chaos-seed`` to run under a named fault policy.
@@ -284,6 +290,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="TPC-H scale factor for --plans (default 100)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--flow", action="store_true",
+                      help="run the whole-program flow analysis "
+                           "(seed flow / pool safety / merge order)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress findings recorded in FILE; fail "
+                           "only on new ones")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record the current findings to FILE and "
+                           "exit 0")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="runtime replay sanitizer: jobs=1 vs jobs=N fingerprint "
+             "comparison with per-unit divergence localization",
+    )
+    sanitize.add_argument("--jobs", type=int, default=4,
+                          help="pool size of the parallel run "
+                               "(default 4)")
+    sanitize.add_argument("--quick", action="store_true",
+                          help="use the built-in small CI workload "
+                               "(currently the only workload; the flag "
+                               "is an explicit opt-in for speed)")
+    sanitize.add_argument("--chaos-preset", choices=sorted(PRESET_NAMES),
+                          default=None,
+                          help="also inject this fault policy during "
+                               "both runs (replay must still match)")
+    sanitize.add_argument("--chaos-seed", type=int, default=0,
+                          help="seed for --chaos-preset (default 0)")
     return parser
 
 
@@ -371,6 +405,8 @@ def _dispatch(args) -> int:
         return _run_estimate_mtbf(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "sanitize":
+        return _run_sanitize(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -704,8 +740,10 @@ def _run_lint(args) -> int:
 
     run_plans = args.plans or bool(args.plan_file)
     run_code = args.code or bool(args.path)
-    if not run_plans and not run_code:
-        run_plans = run_code = True  # bare `repro lint` checks everything
+    run_flow = args.flow
+    if not run_plans and not run_code and not run_flow:
+        # bare `repro lint` checks everything
+        run_plans = run_code = run_flow = True
 
     diagnostics = []
     if run_plans:
@@ -728,14 +766,38 @@ def _run_lint(args) -> int:
                       file=sys.stderr)
                 return 2
             diagnostics.extend(lint_plan(plan, plan_name=plan_file))
-    if run_code:
+    if run_code or run_flow:
         paths = args.path or [os.path.dirname(analysis.__path__[0])]
         missing = [p for p in paths if not os.path.exists(p)]
         if missing:
             for p in missing:
                 print(f"error: no such path: {p}", file=sys.stderr)
             return 2
-        diagnostics.extend(lint_paths(paths))
+        if run_code:
+            diagnostics.extend(lint_paths(paths))
+        if run_flow:
+            from .analysis.flow import lint_flow
+            diagnostics.extend(lint_flow(paths))
+
+    if args.write_baseline:
+        from .analysis.diagnostics import write_baseline
+        count = write_baseline(args.write_baseline, diagnostics)
+        print(f"baseline written to {args.write_baseline} "
+              f"({count} finding key(s))")
+        return 0
+    if args.baseline:
+        from .analysis.diagnostics import apply_baseline, load_baseline
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load baseline: {error}",
+                  file=sys.stderr)
+            return 2
+        before = len(diagnostics)
+        diagnostics = apply_baseline(diagnostics, baseline)
+        suppressed = before - len(diagnostics)
+        if suppressed and args.format == "text":
+            print(f"{suppressed} baselined finding(s) suppressed")
 
     if args.format == "json":
         print(format_json(diagnostics))
@@ -744,6 +806,24 @@ def _run_lint(args) -> int:
     else:
         print("0 finding(s): clean")
     return 1 if has_errors(diagnostics) else 0
+
+
+def _run_sanitize(args) -> int:
+    from .analysis.sanitizer import quick_workload, replay_campaign
+
+    chaos = None
+    if args.chaos_preset is not None:
+        chaos = preset(args.chaos_preset, seed=args.chaos_seed)
+    # --quick is today's only workload; the flag stays an explicit
+    # opt-in so a full-workload default can be added without surprises
+    cells, cluster = quick_workload()
+    mode = "quick" if args.quick else "default (quick)"
+    print(f"sanitize: {mode} workload, {len(cells)} cell(s), "
+          f"jobs=1 vs jobs={args.jobs}"
+          + (f", chaos={args.chaos_preset}" if chaos else ""))
+    report = replay_campaign(cells, cluster, jobs=args.jobs, chaos=chaos)
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,7 +48,6 @@ rankings, the workload runner's per-scheme runs).
 from __future__ import annotations
 
 import math
-import os
 import time
 from dataclasses import dataclass
 from typing import (
@@ -56,7 +55,7 @@ from typing import (
 )
 
 from .. import obs
-from ..chaos.inject import worker_crash_decision
+from ..chaos.inject import crash_worker_process, worker_crash_decision
 from ..chaos.policy import FaultPolicy
 from ..core.plan import Plan
 from ..core.strategies import (
@@ -373,10 +372,11 @@ def _campaign_init(cells: Sequence[CampaignCell], cluster: Cluster,
 def _maybe_crash(unit_index: int) -> None:
     """Hard-exit the worker process when the policy says so.
 
-    ``os._exit`` (not ``sys.exit``) models a real worker death: no
-    cleanup, no exception propagation -- the parent sees a broken pool,
-    exactly like the OOM killer.  The decision is keyed by the retry
-    round, so a crashed unit draws fresh dice on every retry.
+    The kill itself is the chaos layer's
+    :func:`~repro.chaos.inject.crash_worker_process` primitive (the only
+    sanctioned hard-exit in the tree; see lint rule S003).  The decision
+    is keyed by the retry round, so a crashed unit draws fresh dice on
+    every retry.
     """
     chaos: Optional[FaultPolicy] = _WORKER_STATE.get("chaos")
     if (
@@ -389,7 +389,7 @@ def _maybe_crash(unit_index: int) -> None:
         chaos.seed, chaos.worker_crashes.rate,
         _WORKER_STATE.get("round_no", 0), unit_index,
     ):
-        os._exit(17)
+        crash_worker_process(17)
 
 
 def _campaign_chunk(

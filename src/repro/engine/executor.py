@@ -576,8 +576,11 @@ class SimulatedEngine:
                 merged.add(producer)
                 merged |= ancestors[producer]
             ancestors[anchor] = merged
+        # sorted(): float addition is order-sensitive and set order is
+        # not stable across processes -- the sum must not depend on it
         return {
-            anchor: sum(collapsed[a].total_cost for a in group_ancestors)
+            anchor: sum(collapsed[a].total_cost
+                        for a in sorted(group_ancestors))
             for anchor, group_ancestors in ancestors.items()
         }
 

@@ -125,7 +125,9 @@ class JoinGraph:
         """
         names = set(names)
         rows = 1.0
-        for name in names:
+        # sorted(): float multiplication is order-sensitive, and string
+        # set order varies across processes under hash randomization
+        for name in sorted(names):
             rows *= self.relations[name].rows
         for edge in self.edges:
             if edge.left in names and edge.right in names:
@@ -134,7 +136,8 @@ class JoinGraph:
 
     def set_width(self, names: Iterable[str]) -> float:
         """Output row width of the joined set (sum of member widths)."""
-        return sum(self.relations[name].width for name in names)
+        # sorted(): callers pass sets; keep the float sum order-stable
+        return sum(self.relations[name].width for name in sorted(names))
 
     def join_cardinality(
         self, left: Iterable[str], right: Iterable[str]

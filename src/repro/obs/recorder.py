@@ -87,6 +87,15 @@ class _SpanHandle:
         self._recorder._close_span(self._record)
 
 
+#: counter namespaces measuring process-local state (cache hit/miss
+#: tallies, pool retry plumbing): their totals legitimately depend on
+#: how work was scheduled, so determinism comparisons must skip them.
+PROCESS_LOCAL_COUNTER_PREFIXES: Tuple[str, ...] = ("cache.",)
+PROCESS_LOCAL_COUNTERS: Tuple[str, ...] = (
+    "campaign.retries", "campaign.serial_fallbacks",
+)
+
+
 class Recorder:
     """In-process span/counter/gauge sink.
 
@@ -204,6 +213,22 @@ class Recorder:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def deterministic_counters(self) -> Dict[str, int]:
+        """Counters whose totals must be identical across job counts.
+
+        The replay sanitizer (:mod:`repro.analysis.sanitizer`) compares
+        this view between a ``jobs=1`` and a ``jobs=N`` run; the
+        process-local namespaces (:data:`PROCESS_LOCAL_COUNTER_PREFIXES`
+        / :data:`PROCESS_LOCAL_COUNTERS`) are excluded because their
+        totals measure scheduling, not results.
+        """
+        return {
+            name: value
+            for name, value in sorted(self.counters.items())
+            if name not in PROCESS_LOCAL_COUNTERS
+            and not name.startswith(PROCESS_LOCAL_COUNTER_PREFIXES)
+        }
+
     def children_of(self, span_id: Optional[int]) -> Iterator[SpanRecord]:
         for span in self.spans:
             if span.parent_id == span_id:

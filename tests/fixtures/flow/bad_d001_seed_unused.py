@@ -1,0 +1,14 @@
+# expect: D001
+"""Seed accepted but never threaded into the RNG the function reaches."""
+import random
+
+DEFAULT_STATE = 99
+
+
+def make_rng():
+    return random.Random(DEFAULT_STATE)
+
+
+def run_trials(seed, n):
+    rng = make_rng()
+    return [rng.random() for _ in range(n)]

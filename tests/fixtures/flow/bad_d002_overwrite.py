@@ -1,0 +1,9 @@
+# expect: D002
+"""Derived seed unconditionally overwritten by a constant, then used."""
+import random
+
+
+def run(seed):
+    stream_seed = seed * 31 + 7
+    stream_seed = 1234
+    return random.Random(stream_seed).random()

@@ -1,0 +1,9 @@
+# expect: D003
+"""RNG constructed from a constant while a real seed is in scope."""
+import random
+
+
+def simulate(seed, n):
+    noise = random.Random(42)
+    offsets = [seed + i for i in range(n)]
+    return [noise.random() + off for off in offsets]

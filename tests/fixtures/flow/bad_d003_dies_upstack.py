@@ -1,0 +1,13 @@
+# expect: D003
+"""A seed exists upstream but dies before the construction site."""
+import random
+
+
+def _draws(n):
+    rng = random.Random(1234)
+    return [rng.random() for _ in range(n)]
+
+
+def experiment(seed, n):
+    base = seed + 1
+    return _draws(n + 0 * base)

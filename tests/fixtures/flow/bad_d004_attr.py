@@ -1,0 +1,11 @@
+# expect: D004
+"""Unseeded self-attribute RNG drawn from outside its constructor."""
+import random
+
+
+class Sampler:
+    def __init__(self):
+        self._rng = random.Random()
+
+    def draw(self):
+        return self._rng.random()

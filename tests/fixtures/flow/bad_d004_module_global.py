@@ -1,0 +1,9 @@
+# expect: D004
+"""Unseeded module-global RNG drawn from by a different function."""
+import random
+
+_GLOBAL_RNG = random.Random()
+
+
+def jitter(value):
+    return value + _GLOBAL_RNG.random()

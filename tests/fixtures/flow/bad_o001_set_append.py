@@ -1,0 +1,10 @@
+# expect: O001
+"""List built in set iteration order."""
+
+
+def collect(tags):
+    seen = {t.lower() for t in tags}
+    ordered = []
+    for tag in seen:
+        ordered.append(tag)
+    return ordered

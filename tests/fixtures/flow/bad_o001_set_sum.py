@@ -1,0 +1,10 @@
+# expect: O001
+"""Float accumulation in set iteration order."""
+
+
+def total_cost(costs):
+    pending = set(costs)
+    total = 0.0
+    for cost in pending:
+        total += cost
+    return total

@@ -1,0 +1,10 @@
+# expect: O002
+"""Directory listing consumed in filesystem order."""
+import os
+
+
+def load_all(directory):
+    rows = []
+    for name in os.listdir(directory):
+        rows.append(name)
+    return rows

@@ -1,0 +1,12 @@
+# expect: S001
+"""Function defined inside the enclosing function used as payload."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(items, factor):
+    def scale(x):
+        return x * factor
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(scale, item) for item in items]
+        return [f.result() for f in futures]

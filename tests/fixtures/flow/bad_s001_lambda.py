@@ -1,0 +1,8 @@
+# expect: S001
+"""Lambda shipped across a process-pool boundary."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda x: x * x, items))

@@ -1,0 +1,15 @@
+# expect: S002
+"""Pool worker mutates an unsanctioned module global."""
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = []
+
+
+def _work(item):
+    _RESULTS.append(item * 2)
+    return item * 2
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_work, items))

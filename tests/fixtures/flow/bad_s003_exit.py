@@ -1,0 +1,7 @@
+# expect: S003
+"""Hard process exit outside the chaos package."""
+import os
+
+
+def abort_fast(code):
+    os._exit(code)

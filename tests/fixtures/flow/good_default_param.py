@@ -1,0 +1,7 @@
+# expect: clean
+"""A defaulted seed parameter is still an explicit seed."""
+import random
+
+
+def run(seed=0):
+    return random.Random(seed).random()

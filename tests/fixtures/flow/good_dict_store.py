@@ -1,0 +1,9 @@
+# expect: clean
+"""Dict stores keyed by the loop variable are order-independent."""
+
+
+def restrict(config, completed):
+    updated = dict(config)
+    for op_id in set(completed):
+        updated[op_id] = config[op_id]
+    return updated

@@ -1,0 +1,13 @@
+# expect: clean
+"""Sets used for membership and dedup never iterate into output."""
+
+
+def dedupe(items):
+    seen = set()
+    out = []
+    for item in items:
+        if item in seen:
+            continue
+        seen.add(item)
+        out.append(item)
+    return out

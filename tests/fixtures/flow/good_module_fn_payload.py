@@ -1,0 +1,12 @@
+# expect: clean
+"""Module-level function as pool payload pickles fine."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(x):
+    return x * 2
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_work, items))

@@ -1,0 +1,12 @@
+# expect: clean
+"""Seed derivation through an arithmetic helper stays derived."""
+import random
+
+
+def derive(seed, tag):
+    return seed * 1000003 + tag
+
+
+def run(seed):
+    rng = random.Random(derive(seed, 1))
+    return rng.random()

@@ -1,0 +1,19 @@
+# expect: clean
+"""Workers may mutate the sanctioned per-process registries."""
+from concurrent.futures import ProcessPoolExecutor
+
+_WORKER_STATE = {}
+
+
+def _init(payload):
+    _WORKER_STATE["data"] = payload
+
+
+def _work(x):
+    return _WORKER_STATE["data"] + x
+
+
+def fan_out(items, payload):
+    with ProcessPoolExecutor(initializer=_init,
+                             initargs=(payload,)) as pool:
+        return list(pool.map(_work, items))

@@ -1,0 +1,12 @@
+# expect: clean
+"""Seed threaded through a helper into the construction."""
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def run(seed, n):
+    rng = make_rng(seed * 31)
+    return [rng.random() for _ in range(n)]

@@ -1,0 +1,11 @@
+# expect: clean
+"""Shared attribute RNG constructed from the constructor's seed."""
+import random
+
+
+class Sampler:
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def draw(self):
+        return self._rng.random()

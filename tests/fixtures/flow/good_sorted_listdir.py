@@ -1,0 +1,7 @@
+# expect: clean
+"""Directory listing wrapped in sorted() before use."""
+import os
+
+
+def load_all(directory):
+    return [name for name in sorted(os.listdir(directory))]

@@ -1,0 +1,7 @@
+# expect: clean
+"""sorted() stabilizes the accumulation order."""
+
+
+def total_cost(costs):
+    pending = set(costs)
+    return sum(cost for cost in sorted(pending))

@@ -556,3 +556,186 @@ class TestFormattingAndCli:
         assert not math.isnan(
             default_stats_grid()[0].mtbf_cost
         )
+
+
+# ----------------------------------------------------------------------
+# C003 extension: monotonic/perf_counter, aliases, obs allowlist
+# ----------------------------------------------------------------------
+class TestC003Extension:
+    def test_monotonic_dotted(self):
+        diags = lint_snippet("""
+            import time
+            start = time.monotonic()
+        """)
+        assert rule_ids(diags) == {"C003"}
+
+    def test_perf_counter_bare_from_import(self):
+        diags = lint_snippet("""
+            from time import perf_counter
+
+            def measure():
+                return perf_counter()
+        """)
+        assert rule_ids(diags) == {"C003"}
+
+    def test_module_alias(self):
+        diags = lint_snippet("""
+            import time as t
+            start = t.perf_counter()
+        """)
+        assert rule_ids(diags) == {"C003"}
+
+    def test_bare_from_import_alias(self):
+        diags = lint_snippet("""
+            from time import monotonic as now
+            start = now()
+        """)
+        assert rule_ids(diags) == {"C003"}
+
+    def test_obs_package_is_deterministic(self):
+        diags = lint_snippet("""
+            import time
+            stamp = time.monotonic()
+        """, filename="src/repro/obs/export.py")
+        assert rule_ids(diags) == {"C003"}
+
+    def test_obs_recorder_is_allowlisted(self):
+        diags = lint_snippet("""
+            import time
+            stamp = time.monotonic()
+        """, filename="src/repro/obs/recorder.py")
+        assert diags == []
+
+    def test_local_name_shadowing_is_clean(self):
+        # a user-defined monotonic() is not the wall clock
+        assert lint_snippet("""
+            def monotonic():
+                return 0.0
+
+            def measure():
+                return monotonic()
+        """) == []
+
+
+# ----------------------------------------------------------------------
+# JSON export schema + rule catalog covers D/S/O
+# ----------------------------------------------------------------------
+class TestDiagnosticsExport:
+    def test_json_schema_pinned(self):
+        from repro.analysis.diagnostics import JSON_SCHEMA
+
+        payload = json.loads(format_json([]))
+        assert payload["schema"] == JSON_SCHEMA == "repro-lint/1"
+
+    def test_json_findings_sorted_and_stable(self):
+        diags = lint_snippet("""
+            import time, random
+            t = time.time()
+            r = random.Random()
+        """)
+        payload = json.loads(format_json(diags))
+        keys = [
+            (f["location"].get("file", ""),
+             f["location"].get("line", 0),
+             f["rule_id"])
+            for f in payload["findings"]
+        ]
+        assert keys == sorted(keys)
+        # emission order must not leak into the export
+        assert format_json(diags) == format_json(list(reversed(diags)))
+        for finding in payload["findings"]:
+            assert set(finding) >= {
+                "rule_id", "severity", "message", "location",
+            }
+
+    def test_catalog_includes_flow_families(self):
+        for rule_id in ("D001", "D002", "D003", "D004",
+                        "S001", "S002", "S003", "O001", "O002"):
+            assert rule_id in RULES
+            assert RULES[rule_id].severity == Severity.ERROR
+
+    def test_cli_list_rules_covers_flow_families(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("D001", "D002", "D003", "D004",
+                        "S001", "S002", "S003", "O001", "O002"):
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# baseline files: record known findings, fail only on new ones
+# ----------------------------------------------------------------------
+class TestBaseline:
+    @staticmethod
+    def _bad_file(tmp_path, extra=""):
+        bad = tmp_path / "engine" / "bad.py"
+        os.makedirs(bad.parent, exist_ok=True)
+        bad.write_text("import random\nx = random.random()\n" + extra)
+        return bad
+
+    def test_baseline_key_ignores_position(self):
+        from repro.analysis.diagnostics import baseline_key
+
+        diags_a = lint_snippet("import random\nx = random.random()\n")
+        diags_b = lint_snippet("\n\nimport random\nx = random.random()\n")
+        assert [d.location.line for d in diags_a] != [
+            d.location.line for d in diags_b
+        ]
+        assert [baseline_key(d) for d in diags_a] == [
+            baseline_key(d) for d in diags_b
+        ]
+
+    def test_write_load_apply_round_trip(self, tmp_path):
+        from repro.analysis.diagnostics import (
+            apply_baseline,
+            load_baseline,
+            write_baseline,
+        )
+
+        diags = lint_snippet("import random\nx = random.random()\n")
+        assert diags
+        target = tmp_path / "known.json"
+        count = write_baseline(str(target), diags)
+        assert count == len({d.rule_id for d in diags})
+        recorded = load_baseline(str(target))
+        assert apply_baseline(diags, recorded) == []
+        assert apply_baseline(diags, set()) == diags
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        target = tmp_path / "stale.json"
+        target.write_text(json.dumps({"schema": "other/9", "keys": []}))
+        with pytest.raises(ValueError):
+            from repro.analysis.diagnostics import load_baseline
+
+            load_baseline(str(target))
+
+    def test_cli_round_trip_suppresses_known(self, tmp_path, capsys):
+        bad = self._bad_file(tmp_path)
+        recorded = tmp_path / "known.json"
+        assert main(["lint", "--path", str(bad),
+                     "--write-baseline", str(recorded)]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        assert main(["lint", "--path", str(bad),
+                     "--baseline", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+        assert "clean" in out
+
+    def test_cli_new_finding_still_fails(self, tmp_path, capsys):
+        bad = self._bad_file(tmp_path)
+        recorded = tmp_path / "known.json"
+        assert main(["lint", "--path", str(bad),
+                     "--write-baseline", str(recorded)]) == 0
+        capsys.readouterr()
+        self._bad_file(tmp_path, extra="import time\nt = time.time()\n")
+        assert main(["lint", "--path", str(bad),
+                     "--baseline", str(recorded)]) == 1
+        out = capsys.readouterr().out
+        assert "C003" in out
+        assert "C001" not in out  # the recorded finding stays suppressed
+
+    def test_cli_bad_baseline_file_exits_two(self, tmp_path, capsys):
+        bad = self._bad_file(tmp_path)
+        assert main(["lint", "--path", str(bad),
+                     "--baseline", "/nonexistent/base.json"]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err

@@ -1,0 +1,222 @@
+"""Tests for the runtime replay sanitizer (repro.analysis.sanitizer)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    ReplayReport,
+    UnitDivergence,
+    compare_runs,
+    fingerprint,
+    quick_workload,
+    replay_campaign,
+    unit_fingerprints,
+)
+
+
+@dataclasses.dataclass
+class FakeRow:
+    cell_index: int
+    label: str
+    scheme: str
+    mtbf: float
+    runtimes: tuple
+
+
+def make_row(cell=0, label="cell-a", scheme="opt", mtbf=25.0,
+             runtimes=(1.0, 2.0)):
+    return FakeRow(cell_index=cell, label=label, scheme=scheme,
+                   mtbf=mtbf, runtimes=tuple(runtimes))
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        value = {"a": [1, 2.5, "x"], "b": (True, None)}
+        assert fingerprint(value) == fingerprint(value)
+
+    def test_type_tags_distinguish_containers(self):
+        assert fingerprint((1,)) != fingerprint([1])
+        assert fingerprint("1") != fingerprint(1)
+        assert fingerprint(b"1") != fingerprint("1")
+
+    def test_bool_is_not_int(self):
+        assert fingerprint(True) != fingerprint(1)
+        assert fingerprint(False) != fingerprint(0)
+
+    def test_float_bits_matter(self):
+        # last-bit reassociation drift must change the fingerprint
+        a = (0.1 + 0.2) + 0.3
+        b = 0.1 + (0.2 + 0.3)
+        assert a != b
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(0.0) != fingerprint(-0.0)
+        assert fingerprint(1.0) != fingerprint(1)
+
+    def test_dict_and_set_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({3, 1, 2}) == fingerprint({2, 3, 1})
+        # set vs frozenset is a mutability detail, not a value difference
+        assert fingerprint(frozenset({1, 2})) == fingerprint({1, 2})
+
+    def test_list_order_sensitive(self):
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+
+    def test_dataclass_fields_hashed(self):
+        row_a = make_row(runtimes=(1.0, 2.0))
+        row_b = make_row(runtimes=(1.0, 2.0000000000000004))
+        assert fingerprint(row_a) == fingerprint(make_row())
+        assert fingerprint(row_a) != fingerprint(row_b)
+
+    def test_none_and_nested(self):
+        assert fingerprint(None) != fingerprint(0)
+        assert fingerprint({"k": {1: [None]}}) == fingerprint(
+            {"k": {1: [None]}}
+        )
+
+    def test_fallback_repr_for_unknown_types(self):
+        class Point:
+            def __repr__(self):
+                return "Point(1, 2)"
+
+        assert fingerprint(Point()) == fingerprint(Point())
+
+    def test_unit_fingerprints_in_order(self):
+        rows = [make_row(runtimes=(float(i),)) for i in range(3)]
+        prints = unit_fingerprints(rows)
+        assert len(prints) == 3
+        assert prints[0] != prints[1]
+        assert prints == [fingerprint(r) for r in rows]
+
+
+# ----------------------------------------------------------------------
+# compare_runs: hand-injected divergence localization
+# ----------------------------------------------------------------------
+class TestCompareRuns:
+    def test_identical_runs_are_clean(self):
+        rows = [make_row(cell=i) for i in range(4)]
+        report = compare_runs(rows, list(rows), jobs_a=1, jobs_b=4)
+        assert report.ok
+        assert report.first_divergence is None
+        assert report.unit_count == 4
+        assert "replay clean" in report.describe()
+        assert "jobs=1" in report.describe()
+
+    def test_injected_divergence_is_localized(self):
+        rows_a = [make_row(cell=i, mtbf=25.0) for i in range(4)]
+        rows_b = [make_row(cell=i, mtbf=25.0) for i in range(4)]
+        rows_b[2] = make_row(cell=2, mtbf=25.0,
+                             runtimes=(1.0, 2.0000000000000004))
+        report = compare_runs(rows_a, rows_b, jobs_a=1, jobs_b=4)
+        assert not report.ok
+        first = report.first_divergence
+        assert first is not None
+        assert first.unit_index == 2
+        assert "cell[2]" in first.span_path
+        assert "cell-a" in first.span_path
+        assert "unit[2]" in first.span_path
+        assert "mtbf=25" in first.span_path
+        text = report.describe()
+        assert "DIVERGED" in text
+        assert "first divergent unit" in text
+        assert first.span_path in text
+
+    def test_multiple_divergences_report_count(self):
+        rows_a = [make_row(cell=i) for i in range(4)]
+        rows_b = [make_row(cell=i, runtimes=(9.0,)) for i in range(4)]
+        report = compare_runs(rows_a, rows_b)
+        assert len(report.divergences) == 4
+        assert report.first_divergence.unit_index == 0
+        assert "3 further unit(s)" in report.describe()
+
+    def test_length_mismatch_is_divergence(self):
+        rows_a = [make_row(cell=i) for i in range(3)]
+        report = compare_runs(rows_a, rows_a[:2])
+        assert not report.ok
+        assert report.unit_count == 3
+        assert report.first_divergence.unit_index == 2
+        assert report.first_divergence.fingerprint_b == "<absent>"
+
+    def test_counter_deltas(self):
+        rows = [make_row()]
+        report = compare_runs(
+            rows, rows,
+            counters_a={"sim.runs": 10, "sim.aborts": 1},
+            counters_b={"sim.runs": 12},
+        )
+        assert not report.ok
+        assert report.counter_deltas == (
+            ("sim.aborts", 1, 0), ("sim.runs", 10, 12),
+        )
+        text = report.describe()
+        assert "counter 'sim.runs': 10 != 12" in text
+
+    def test_matching_counters_are_clean(self):
+        rows = [make_row()]
+        report = compare_runs(rows, rows,
+                              counters_a={"sim.runs": 10},
+                              counters_b={"sim.runs": 10})
+        assert report.ok
+
+
+class TestReplayReportDescribe:
+    def test_merged_only_divergence_branch(self):
+        # reachable when units match but a merged artifact differs --
+        # constructed directly, as compare_runs derives merged from units
+        report = ReplayReport(
+            jobs_a=1, jobs_b=4, unit_count=3, divergences=(),
+            merged_fingerprint_a="aaaa", merged_fingerprint_b="bbbb",
+        )
+        assert not report.ok
+        text = report.describe()
+        assert "every unit matched" in text
+        assert "suspect merge order" in text
+
+    def test_unit_divergence_describe(self):
+        divergence = UnitDivergence(
+            unit_index=5, span_path="campaign/cell[1]/unit[5]",
+            fingerprint_a="aa", fingerprint_b="bb",
+        )
+        assert "unit 5" in divergence.describe()
+        assert "aa != bb" in divergence.describe()
+
+
+# ----------------------------------------------------------------------
+# real replay
+# ----------------------------------------------------------------------
+class TestReplayCampaign:
+    def test_rejects_serial_jobs(self):
+        cells, cluster = quick_workload()
+        with pytest.raises(ValueError, match="jobs >= 2"):
+            replay_campaign(cells, cluster, jobs=1)
+
+    def test_quick_workload_shape(self):
+        cells, cluster = quick_workload()
+        assert len(cells) == 3
+        assert cluster.nodes == 4
+        assert {cell.label for cell in cells} == {
+            "quick-chain", "quick-short",
+        }
+
+    def test_small_replay_is_clean(self):
+        # a trimmed workload: one cell, two traces, jobs=2
+        cells, cluster = quick_workload()
+        cell = dataclasses.replace(cells[0], trace_count=2)
+        report = replay_campaign([cell], cluster, jobs=2)
+        assert report.ok, report.describe()
+        assert report.jobs_a == 1
+        assert report.jobs_b == 2
+        assert report.unit_count >= 1
+        assert report.merged_fingerprint_a == report.merged_fingerprint_b
+
+
+class TestSanitizeCli:
+    def test_sanitize_quick_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["sanitize", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replay clean" in out
