@@ -11,26 +11,43 @@ Besides the pytest-benchmark tests, the module doubles as a script::
     PYTHONPATH=src python benchmarks/bench_optimizer.py
 
 which times the fast and naive engines over a fixed slice of the TPC-H
-Q5 join-order sweep and writes ``BENCH_optimizer.json`` (wall time,
-configs/sec and speedup per engine) at the repository root.  See
-``docs/perf.md`` for how to read it.
+Q5 join-order sweep, runs the synthetic large-DAG scaling sweep of the
+sharded search (serial fast baseline vs ``sharded_search`` at
+``--parallelism`` workers, bit-identity checked on every point), and
+writes ``BENCH_optimizer.json`` at the repository root.  ``--quick``
+shrinks the scaling ladder for CI.  See ``docs/perf.md`` for how to
+read it.
 """
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.core.cost_model import ClusterStats
-from repro.core.enumeration import estimate_plan_cost, find_best_ft_plan
+from repro.core.enumeration import (
+    _find_best_fast,
+    _find_best_naive,
+    estimate_plan_cost,
+    find_best_ft_plan,
+)
 from repro.core.failure import HOUR
+from repro.core.pruning import PruningConfig
+from repro.core.shard import sharded_search
 from repro.core.strategies import NoMatLineage
 from repro.engine.cluster import Cluster
 from repro.engine.executor import SimulatedEngine
 from repro.engine.traces import generate_trace
-from repro.joinorder import q5_join_graph, top_k_plans, tree_to_plan
+from repro.joinorder import (
+    q5_join_graph,
+    scaling_specs,
+    synthetic_plan,
+    top_k_plans,
+    tree_to_plan,
+)
 from repro.stats.calibration import default_parameters
 from repro.tpch.queries import build_query_plan
 
@@ -277,13 +294,113 @@ def run_engine_comparison(join_orders: int = 60):
     }
 
 
+# ----------------------------------------------------------------------
+# script mode: the synthetic large-DAG scaling sweep (sharded search)
+# ----------------------------------------------------------------------
+def _result_key(result, plan_index: int = 0):
+    """A ``SearchResult`` as the sharded engine's ``(cost, plan, mask)``."""
+    mask = 0
+    for bit, (_op, flag) in enumerate(result.mat_config):
+        if flag:
+            mask |= 1 << bit
+    return (result.cost, plan_index, mask)
+
+
+def _best_of(repeats, thunk):
+    """(best seconds, last result) over ``repeats`` runs."""
+    best_s, result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = thunk()
+        best_s = min(best_s, time.perf_counter() - started)
+    return best_s, result
+
+
+def run_scaling_sweep(
+    sizes=(20, 40, 60, 100),
+    parallelism: int = 4,
+    config_limit: int = 16384,
+    repeats: int = 2,
+    naive_max_size: int = 20,
+):
+    """Serial fast engine vs the sharded search on synthetic DAGs.
+
+    Each point scans the same capped Gray subspace (``config_limit``
+    configurations) of one seeded synthetic plan under a rare-failure
+    regime (MTBF = 20x the plan's total runtime -- the regime where
+    Rule 3's shared bound pays off).  The naive oracle additionally
+    certifies the smallest (tractable) points.  Every engine must
+    return the identical ``(cost, plan, mask)`` key.
+    """
+    pruning = PruningConfig.all()
+    shards = 4 * parallelism
+    points = []
+    for spec in scaling_specs(tuple(sizes)):
+        plan = synthetic_plan(spec)
+        base = sum(op.runtime_cost for op in plan.operators.values())
+        stats = ClusterStats(mtbf=base * 20.0, mttr=base * 0.1,
+                             const_pipe=0.9)
+        serial_s, serial = _best_of(repeats, lambda: _find_best_fast(
+            [plan], stats, pruning, False, config_limit=config_limit))
+        sharded_s, (sharded_key, sharded_stats) = _best_of(
+            repeats, lambda: sharded_search(
+                [plan], stats, pruning, parallelism=parallelism,
+                shards=shards, config_limit=config_limit))
+        equal = sharded_key == _result_key(serial)
+        naive_checked = spec.n_joins <= naive_max_size
+        if naive_checked:
+            naive = _find_best_naive([plan], stats, pruning, False,
+                                     config_limit=config_limit)
+            equal = equal and sharded_key == _result_key(naive)
+        enumerated = sharded_stats.configs_enumerated
+        points.append({
+            "n_free_operators": len(plan.free_operators),
+            "seed": spec.seed,
+            "config_limit": config_limit,
+            "configs_enumerated": enumerated,
+            "equal_results": bool(equal),
+            "naive_checked": naive_checked,
+            "serial_fast": {
+                "seconds": round(serial_s, 6),
+                "configs_per_sec": round(enumerated / serial_s, 1),
+            },
+            "sharded": {
+                "seconds": round(sharded_s, 6),
+                "configs_per_sec": round(enumerated / sharded_s, 1),
+                "parallelism": parallelism,
+                "shards": shards,
+                "scored": sharded_stats.paths_estimated,
+                "bound_skips": sharded_stats.rule3_plan_cutoffs,
+                "bound_efficiency": round(
+                    sharded_stats.rule3_plan_cutoffs / enumerated, 4),
+            },
+            "speedup": round(serial_s / sharded_s, 2),
+            "shard_efficiency": round(
+                serial_s / (sharded_s * parallelism), 3),
+        })
+    return {
+        "benchmark": "synthetic_scaling_sweep",
+        "regime": "rare-failure (mtbf = 20x plan runtime, "
+                  "mttr = 0.1x, const_pipe = 0.9)",
+        "pruning": "all",
+        "cpu_count": os.cpu_count(),
+        "points": points,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Time the fast vs naive search engines on a fixed "
-                    "slice of the TPC-H Q5 join-order sweep."
+                    "slice of the TPC-H Q5 join-order sweep, plus the "
+                    "sharded search on the synthetic scaling ladder."
     )
     parser.add_argument("--join-orders", type=int, default=60,
                         help="sweep slice size (default 60)")
+    parser.add_argument("--parallelism", type=int, default=4,
+                        help="sharded-search worker count (default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: smaller ladder (n=20,40), "
+                             "2048-config cap, single timing run")
     parser.add_argument(
         "--output", type=Path,
         default=Path(__file__).resolve().parent.parent
@@ -293,6 +410,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     report = run_engine_comparison(join_orders=args.join_orders)
+    if args.quick:
+        report["scaling"] = run_scaling_sweep(
+            sizes=(20, 40), parallelism=args.parallelism,
+            config_limit=2048, repeats=1)
+    else:
+        report["scaling"] = run_scaling_sweep(
+            parallelism=args.parallelism)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     for sweep in report["sweeps"]:
         engines = sweep["engines"]
@@ -303,6 +427,16 @@ def main(argv=None) -> int:
               f"({engines['naive']['configs_per_sec']:.0f} cfg/s)  "
               f"speedup {sweep['speedup']:.1f}x  "
               f"equal={sweep['equal_results']}")
+    for point in report["scaling"]["points"]:
+        sharded = point["sharded"]
+        print(f"n={point['n_free_operators']:<3d} "
+              f"serial {point['serial_fast']['seconds']:.3f}s  "
+              f"sharded {sharded['seconds']:.3f}s "
+              f"(p={sharded['parallelism']}, "
+              f"{sharded['configs_per_sec']:.0f} cfg/s, "
+              f"bound_eff={sharded['bound_efficiency']:.2f})  "
+              f"speedup {point['speedup']:.2f}x  "
+              f"equal={point['equal_results']}")
     print(f"wrote {args.output}")
     return 0
 

@@ -274,6 +274,73 @@ def replay_campaign(
     )
 
 
+def replay_sharded_search(
+    plans: Sequence[Any],
+    stats: Any,
+    pruning: Optional[Any] = None,
+    shards: int = 8,
+    parallelism: int = 2,
+    config_limit: Optional[int] = None,
+) -> ReplayReport:
+    """Replay one search at shards=1 vs sharded/pooled; compare.
+
+    The sharded subsystem promises a reduce that is independent of shard
+    count, worker count and bound-propagation timing.  This replay runs
+    the identical workload twice -- once as a single in-process shard,
+    once over ``shards`` shards on ``parallelism`` workers -- and
+    fingerprints the winning ``(cost, plan, mask)`` key per plan set,
+    plus the deterministic counters
+    (:meth:`~repro.obs.recorder.Recorder.deterministic_counters`), which
+    exclude the scheduling-dependent bound/prefilter tallies by design.
+    """
+    from .. import obs
+    from ..core.pruning import PruningConfig
+    from ..core.shard import sharded_search
+
+    if pruning is None:
+        pruning = PruningConfig.all()
+    with obs.recording() as recorder_serial:
+        key_serial, stats_serial = sharded_search(
+            list(plans), stats, pruning, shards=1, parallelism=1,
+            config_limit=config_limit,
+        )
+        counters_serial = recorder_serial.deterministic_counters()
+    with obs.recording() as recorder_pool:
+        key_pool, stats_pool = sharded_search(
+            list(plans), stats, pruning, shards=shards,
+            parallelism=parallelism, config_limit=config_limit,
+        )
+        counters_pool = recorder_pool.deterministic_counters()
+    rows_serial = [
+        (key_serial, stats_serial.configs_total,
+         stats_serial.configs_enumerated),
+    ]
+    rows_pool = [
+        (key_pool, stats_pool.configs_total,
+         stats_pool.configs_enumerated),
+    ]
+    return compare_runs(
+        rows_serial, rows_pool, counters_serial, counters_pool,
+        jobs_a=1, jobs_b=parallelism,
+    )
+
+
+def quick_search_workload() -> Tuple[List[Any], Any, Optional[int]]:
+    """A small (plans, stats, config_limit) triple for CI quick replay.
+
+    A synthetic 12-join DAG: large enough that shards=8 cuts genuinely
+    different Gray ranges, small enough to finish in seconds.
+    """
+    from ..core.cost_model import ClusterStats
+    from ..joinorder.synthetic import SyntheticSpec, synthetic_plan
+
+    plan = synthetic_plan(SyntheticSpec(n_joins=12, seed=4))
+    base = sum(op.runtime_cost for op in plan.operators.values())
+    stats = ClusterStats(mtbf=base * 20.0, mttr=base * 0.1,
+                         const_pipe=0.9)
+    return [plan], stats, 1024
+
+
 def quick_workload() -> Tuple[List[Any], Any]:
     """A small (cells, cluster) pair for CI quick-mode replay.
 

@@ -368,6 +368,39 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the search's fan-out "
                              "over candidate plans (fast engine only; "
                              "default 1)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="partition the search space into this many "
+                             "shards (fast engine only; default "
+                             "4x parallelism).  More shards than workers "
+                             "gives the work queue stealing granularity; "
+                             "--shards with --parallelism 1 scans the "
+                             "same shards in-process")
+    parser.add_argument("--config-limit", type=int, default=None,
+                        dest="config_limit",
+                        help="search only the first N configurations of "
+                             "each plan's Gray sequence (tractability "
+                             "cap for large DAGs; default: the full "
+                             "2^n space)")
+
+
+def _check_search_args(args) -> int:
+    """Validate the shared search flags; 0 if fine, else an exit status."""
+    if args.parallelism < 1:
+        print("error: --parallelism must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.config_limit is not None and args.config_limit < 1:
+        print("error: --config-limit must be >= 1", file=sys.stderr)
+        return 2
+    if args.engine == "naive" and (
+        args.parallelism > 1 or args.shards is not None
+    ):
+        print("error: --parallelism/--shards require --engine fast",
+              file=sys.stderr)
+        return 2
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -456,18 +489,15 @@ def _run_advise(args) -> int:
     if args.nodes < 1:
         print("error: --nodes must be >= 1", file=sys.stderr)
         return 2
-    if args.parallelism < 1:
-        print("error: --parallelism must be >= 1", file=sys.stderr)
-        return 2
-    if args.engine == "naive" and args.parallelism > 1:
-        print("error: --parallelism requires --engine fast",
-              file=sys.stderr)
-        return 2
+    status = _check_search_args(args)
+    if status:
+        return status
     params = default_parameters(nodes=args.nodes)
     plan = build_query_plan(args.query, args.scale_factor, params)
     stats = ClusterStats(mtbf=args.mtbf, mttr=args.mttr, nodes=args.nodes)
     configured = CostBased(
-        engine=args.engine, parallelism=args.parallelism
+        engine=args.engine, parallelism=args.parallelism,
+        shards=args.shards, config_limit=args.config_limit,
     ).configure(plan, stats)
     search = configured.search
 
@@ -491,14 +521,12 @@ def _run_simulate(args) -> int:
     if args.nodes < 1 or args.traces < 1:
         print("error: --nodes and --traces must be >= 1", file=sys.stderr)
         return 2
-    if args.parallelism < 1 or args.jobs < 1:
-        print("error: --parallelism and --jobs must be >= 1",
-              file=sys.stderr)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
-    if args.engine == "naive" and args.parallelism > 1:
-        print("error: --parallelism requires --engine fast",
-              file=sys.stderr)
-        return 2
+    status = _check_search_args(args)
+    if status:
+        return status
     chaos_policy = None
     if args.inject is not None and args.inject != "none":
         chaos_policy = preset(args.inject, seed=args.chaos_seed,
@@ -509,6 +537,8 @@ def _run_simulate(args) -> int:
     rows = compare_schemes(
         standard_schemes(engine=args.engine,
                          parallelism=args.parallelism,
+                         shards=args.shards,
+                         config_limit=args.config_limit,
                          preflight_lint=False),
         plan, args.query, cluster,
         mtbf=args.mtbf, trace_count=args.traces, base_seed=args.seed,
@@ -809,7 +839,12 @@ def _run_lint(args) -> int:
 
 
 def _run_sanitize(args) -> int:
-    from .analysis.sanitizer import quick_workload, replay_campaign
+    from .analysis.sanitizer import (
+        quick_search_workload,
+        quick_workload,
+        replay_campaign,
+        replay_sharded_search,
+    )
 
     chaos = None
     if args.chaos_preset is not None:
@@ -823,7 +858,15 @@ def _run_sanitize(args) -> int:
           + (f", chaos={args.chaos_preset}" if chaos else ""))
     report = replay_campaign(cells, cluster, jobs=args.jobs, chaos=chaos)
     print(report.describe())
-    return 0 if report.ok else 1
+    plans, stats, config_limit = quick_search_workload()
+    print(f"sanitize: sharded search replay, {len(plans)} plan(s), "
+          f"shards=1 vs shards=8 x parallelism={args.jobs}")
+    search_report = replay_sharded_search(
+        plans, stats, shards=8, parallelism=args.jobs,
+        config_limit=config_limit,
+    )
+    print(search_report.describe())
+    return 0 if report.ok and search_report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

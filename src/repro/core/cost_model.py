@@ -291,6 +291,60 @@ def operator_runtime_batch(
     return t + extra * (wasted + stats.mttr_cost)
 
 
+# ----------------------------------------------------------------------
+# certified batch/scalar agreement envelope (the sharded search's
+# prefilter contract; see docs/perf.md and tests/test_shard.py)
+# ----------------------------------------------------------------------
+
+#: certified relative half-width of the batch/scalar agreement, in ulps.
+#: The batch kernel evaluates the same expression tree as the scalar
+#: path; each float64 transcendental agrees with ``math.*`` to ~1 ulp and
+#: the chain is ~10 operations of same-sign terms, so the true relative
+#: error is a few ulps wherever the chain is well-conditioned.  The one
+#: ill-conditioned step is ``log(eta)`` as ``eta -> 1``: its relative
+#: error amplifies by ``1/|ln eta| ~= e^(t/MTBF)``, which is why the
+#: certificate below refuses to vouch past :data:`BATCH_CERTIFIED_MAX_ETA`
+#: (the certification test pins the measured error inside the envelope
+#: with a wide margin across regimes up to that boundary).
+BATCH_ENVELOPE_ULPS = 4096
+BATCH_ENVELOPE = BATCH_ENVELOPE_ULPS * 2.0 ** -52
+
+#: the certificate's validity boundary: for ``eta(c) <= 1 - e^-7``
+#: (``t(c) <= 7 * MTBF_cost``) the ``log(eta)`` amplification factor is
+#: at most ``~e^7 ~= 1100`` ulps, safely inside the 4096-ulp envelope.
+BATCH_CERTIFIED_MAX_RATIO = 7.0
+
+
+def batch_certified_exceeds(
+    batch_runtime: float,
+    incumbent: float,
+    total_cost: float,
+    mtbf_cost: float,
+) -> bool:
+    """Does a batch-computed ``T(c)`` *provably* exceed ``incumbent``?
+
+    Returns ``True`` only when the scalar runtime of the same operator
+    is guaranteed to be strictly greater than ``incumbent``:
+
+    * the batch value must be finite (near the ``eta >= 1`` rounding
+      boundary NumPy and ``math.expm1`` may disagree about infinity, so
+      an infinite batch value certifies nothing),
+    * ``t(c)`` must be inside the conditioning boundary
+      :data:`BATCH_CERTIFIED_MAX_RATIO` where the envelope is proven, and
+    * the batch value must clear ``incumbent`` by the full relative
+      envelope: ``T_b > incumbent * (1 + eps)`` implies
+      ``T_s >= T_b / (1 + eps) > incumbent``.
+
+    A ``False`` answer is always safe -- the caller falls back to the
+    exact scalar score.
+    """
+    return (
+        math.isfinite(batch_runtime)
+        and total_cost <= BATCH_CERTIFIED_MAX_RATIO * mtbf_cost
+        and batch_runtime > incumbent * (1.0 + BATCH_ENVELOPE)
+    )
+
+
 def path_cost_batch(
     paths: Sequence[Sequence[float]],
     stats: ClusterStats,

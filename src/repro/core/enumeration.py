@@ -17,15 +17,25 @@ Two engines implement the search:
   :class:`~repro.core.search_context.SearchContext`: one validation and
   one adjacency precomputation per plan, Gray-code stepping with
   incremental collapse, and dominant-path scoring by dynamic
-  programming.  Optionally fans out across candidate plans with a
-  process pool (``parallelism=N``), exchanging the best dominant cost
-  between workers through a shared :class:`DominantPathMemo` cell so
-  Rule 3 pruning still compounds across plans.
+  programming.  With ``parallelism > 1`` (or an explicit ``shards``
+  count) the search routes to the sharded subsystem
+  (:mod:`repro.core.shard`): the (join order x Gray-code subspace)
+  space is over-partitioned into shards dispatched on a resilient
+  process-pool work queue with a cross-process shared best-cost bound,
+  so Rule 3 pruning compounds across shards and plans.
 * ``engine="naive"`` is the literal Listing 1 transcription -- a full
   plan rebuild and DAG collapse per configuration.  It is kept as the
-  correctness oracle: both engines return bit-identical results
-  (``tests/test_property_enumeration.py``), the naive engine is just
-  slower (see ``benchmarks/bench_optimizer.py`` and ``docs/perf.md``).
+  correctness oracle: all engines return bit-identical results
+  (``tests/test_property_enumeration.py``, ``tests/test_shard.py``),
+  the naive engine is just slower (see ``benchmarks/bench_optimizer.py``
+  and ``docs/perf.md``).
+
+Large plans make the full ``2^n`` space intractable for *any* engine, so
+every engine accepts ``config_limit=K``: only the first ``K``
+configurations of the Gray sequence are searched.  The subspace is
+defined by *membership*, not visit order -- the naive oracle enumerates
+the same ``K`` masks in its usual ascending numeric order -- so results
+stay bit-identical across engines at any limit.
 """
 
 from __future__ import annotations
@@ -58,6 +68,12 @@ from .pruning import (
     apply_rule2,
 )
 from .search_context import SearchContext
+from .shard import (
+    config_space,
+    sharded_search,
+    subspace_mask,
+    subspace_params,
+)
 
 MatConfig = Tuple[Tuple[int, bool], ...]
 
@@ -218,6 +234,8 @@ def find_best_ft_plan(
     preflight_lint: bool = True,
     engine: str = "fast",
     parallelism: int = 1,
+    shards: Optional[int] = None,
+    config_limit: Optional[int] = None,
 ) -> SearchResult:
     """Listing 1: pick the fault-tolerant plan with the cheapest dominant path.
 
@@ -250,18 +268,33 @@ def find_best_ft_plan(
         rebuild-and-collapse transcription kept as the correctness
         oracle.
     parallelism:
-        Fan the candidate plans out over ``N`` worker processes
-        (``engine="fast"`` only).  Workers exchange the best dominant
-        cost through a shared memo cell, so Rule 3 keeps compounding
-        across plans; results are identical to the serial search.
+        Scan the search space with ``N`` worker processes
+        (``engine="fast"`` only) via the sharded subsystem
+        (:func:`repro.core.shard.sharded_search`).  Workers exchange
+        the best dominant cost through a shared bound cell, so Rule 3
+        keeps compounding across shards and plans; the deterministic
+        reduce makes results identical to the serial search.
+    shards:
+        Partition the (plan x config subspace) space into this many
+        shards (default ``4 * parallelism``); more shards than workers
+        gives work-queue stealing its granularity.  ``shards > 1`` with
+        ``parallelism=1`` scans the same shards in-process -- useful for
+        determinism replays -- and still uses the tuned
+        :class:`~repro.core.shard.ShardKernel`.
+    config_limit:
+        Search only the first ``config_limit`` configurations of each
+        plan's Gray sequence (the same subspace in every engine).  Makes
+        plans with dozens of free operators tractable; ``None`` (the
+        default) searches the full ``2^n`` space.
 
     Raises
     ------
     ValueError
-        If ``plans`` is empty, ``engine`` is unknown, ``parallelism`` is
-        invalid (or combined with the naive engine), or -- with
-        ``preflight_lint`` -- when a candidate plan fails validation
-        (``LintError`` is a ``ValueError``).
+        If ``plans`` is empty, ``engine`` is unknown, ``parallelism`` /
+        ``shards`` / ``config_limit`` are invalid (or parallelism is
+        combined with the naive engine), or -- with ``preflight_lint`` --
+        when a candidate plan fails validation (``LintError`` is a
+        ``ValueError``).
     """
     plan_list = list(plans)
     if not plan_list:
@@ -271,22 +304,36 @@ def find_best_ft_plan(
                          "(expected 'fast' or 'naive')")
     if parallelism < 1:
         raise ValueError("parallelism must be >= 1")
-    if engine == "naive" and parallelism > 1:
-        raise ValueError("parallelism requires engine='fast' "
+    if shards is not None and shards < 1:
+        raise ValueError("shards must be >= 1")
+    if config_limit is not None and config_limit < 1:
+        raise ValueError("config_limit must be >= 1")
+    if engine == "naive" and (parallelism > 1 or shards is not None):
+        raise ValueError("parallelism/shards require engine='fast' "
                          "(the naive oracle is single-process)")
     if preflight_lint:
         for plan in plan_list:
             _preflight_once(plan, stats)
 
     with obs.span("search", engine=engine, plans=len(plan_list),
-                  parallelism=parallelism):
+                  parallelism=parallelism, shards=shards or 1):
         if engine == "naive":
             result = _find_best_naive(
-                plan_list, stats, pruning, exact_waste
+                plan_list, stats, pruning, exact_waste, config_limit
+            )
+        elif parallelism > 1 or (shards is not None and shards > 1):
+            best_key, pruning_stats = sharded_search(
+                plan_list, stats, pruning, exact_waste=exact_waste,
+                parallelism=parallelism, shards=shards,
+                config_limit=config_limit,
+            )
+            result = _rebuild_result(
+                plan_list, best_key, stats, pruning, exact_waste,
+                pruning_stats,
             )
         else:
             result = _find_best_fast(
-                plan_list, stats, pruning, exact_waste, parallelism
+                plan_list, stats, pruning, exact_waste, config_limit
             )
         _record_search_counters(result.pruning)
     return result
@@ -327,11 +374,33 @@ def _record_memo_counters(recorder: Optional[Any],
 # ----------------------------------------------------------------------
 # the naive engine (correctness oracle): rebuild + collapse per config
 # ----------------------------------------------------------------------
+def _subspace_masks(plan: Plan, config_limit: Optional[int]) -> Iterable[int]:
+    """The masks a limited search visits, in naive (ascending) order.
+
+    The searched subspace is a windowed Gray sequence
+    (:func:`repro.core.shard.subspace_params`) -- the natural shape for
+    the incremental engines -- but membership is what defines it: here
+    the same masks come back sorted ascending so the naive engine's
+    first-wins tie-break remains the lexicographic ``(cost, plan,
+    mask)`` minimum all engines share.
+    """
+    count, shift, pinned = subspace_params(
+        len(plan.free_operators), config_limit
+    )
+    if shift == 0 and pinned == 0:
+        return range(count)
+    return sorted(
+        subspace_mask(position, shift, pinned)
+        for position in range(count)
+    )
+
+
 def _find_best_naive(
     plan_list: Sequence[Plan],
     stats: ClusterStats,
     pruning: PruningConfig,
     exact_waste: bool,
+    config_limit: Optional[int] = None,
 ) -> SearchResult:
     pruning_stats = PruningStats()
     memo = DominantPathMemo()
@@ -339,7 +408,7 @@ def _find_best_naive(
 
     for plan_index, plan in enumerate(plan_list):
         with obs.span("search.plan", plan=plan_index, engine="naive"):
-            pruning_stats.configs_total += count_mat_configs(plan)
+            pruning_stats.configs_total += config_space(plan, config_limit)
             pruned_plan = plan
             if pruning.rule1:
                 pruned_plan = apply_rule1(
@@ -350,7 +419,12 @@ def _find_best_naive(
                     pruned_plan, stats, stats_out=pruning_stats
                 )
 
-            for config in enumerate_mat_configs(pruned_plan):
+            free_ids = pruned_plan.free_operators
+            for mask in _subspace_masks(pruned_plan, config_limit):
+                config = tuple(
+                    (op_id, bool(mask >> bit & 1))
+                    for bit, op_id in enumerate(free_ids)
+                )
                 pruning_stats.configs_enumerated += 1
                 candidate = pruned_plan.with_mat_config(config)
                 outcome = _score_with_rule3(
@@ -467,6 +541,7 @@ def _fast_scan_plan(
     exact_waste: bool,
     pruning_stats: PruningStats,
     shared: _SharedBest,
+    config_limit: Optional[int] = None,
 ) -> Optional[_BestKey]:
     """Sweep one plan's configurations; return its best key (or ``None``).
 
@@ -475,11 +550,13 @@ def _fast_scan_plan(
     proves the configuration cannot win (``T >= R`` per path).  On an
     exact tie the configuration is still scored, so the
     ``(cost, plan, mask)`` tie-break matches the naive engine's
-    first-wins behaviour bit for bit.
+    first-wins behaviour bit for bit.  ``R_max`` and ``T_max`` come from
+    the fused :meth:`SearchContext.dominant_scores` pass -- one DP
+    traversal per configuration instead of two.
     """
     recorder = obs.get_recorder()
     with obs.span("search.plan", plan=plan_index, engine="fast"):
-        pruning_stats.configs_total += count_mat_configs(plan)
+        pruning_stats.configs_total += config_space(plan, config_limit)
         pruned_plan = plan
         if pruning.rule1:
             pruned_plan = apply_rule1(
@@ -492,17 +569,25 @@ def _fast_scan_plan(
 
         context = SearchContext(pruned_plan, stats,
                                 exact_waste=exact_waste)
+        count, shift, pinned = subspace_params(
+            len(context.free_ids), config_limit
+        )
         best: Optional[_BestKey] = None
-        for mask in context.iter_masks(order="gray"):
+        for position in range(count):
+            # consecutive positions differ in one window bit, so this is
+            # the same single-flip stepping as iter_masks(order="gray")
+            mask = subspace_mask(position, shift, pinned)
+            context.set_mask(mask)
             pruning_stats.configs_enumerated += 1
             if pruning.rule3:
                 bound = shared.get()
-                r_max = context.failure_free_dominant()
+                r_max, total = context.dominant_scores()
                 if r_max >= bound:
                     pruning_stats.rule3_plan_cutoffs += 1
                     if r_max > bound:
                         continue
-            total = context.dominant_cost()
+            else:
+                total = context.dominant_cost()
             pruning_stats.paths_estimated += 1
             key = (total, plan_index, mask)
             if best is None or key < best:
@@ -553,117 +638,25 @@ def _find_best_fast(
     stats: ClusterStats,
     pruning: PruningConfig,
     exact_waste: bool,
-    parallelism: int,
+    config_limit: Optional[int] = None,
 ) -> SearchResult:
+    """The serial fast engine: one :class:`SearchContext` sweep per plan.
+
+    Parallel and sharded scans live in :mod:`repro.core.shard` (routed by
+    :func:`find_best_ft_plan`); this path remains the simple, auditable
+    reference the sharded kernel is certified against.
+    """
     pruning_stats = PruningStats()
-    workers = min(parallelism, len(plan_list))
     best_key: Optional[_BestKey] = None
-    if workers > 1:
-        best_key = _fan_out(
-            plan_list, stats, pruning, exact_waste, workers, pruning_stats
+    shared = _SharedBest()
+    for plan_index, plan in enumerate(plan_list):
+        local = _fast_scan_plan(
+            plan, plan_index, stats, pruning, exact_waste,
+            pruning_stats, shared, config_limit,
         )
-    else:
-        shared = _SharedBest()
-        for plan_index, plan in enumerate(plan_list):
-            local = _fast_scan_plan(
-                plan, plan_index, stats, pruning, exact_waste,
-                pruning_stats, shared,
-            )
-            if local is not None and (best_key is None or local < best_key):
-                best_key = local
+        if local is not None and (best_key is None or local < best_key):
+            best_key = local
     assert best_key is not None
     return _rebuild_result(
         plan_list, best_key, stats, pruning, exact_waste, pruning_stats
     )
-
-
-#: per-worker state installed by the pool initializer (fork/spawn safe)
-_WORKER_STATE: Dict[str, Any] = {}
-
-
-def _pool_initializer(
-    cell: Any,
-    stats: ClusterStats,
-    pruning: PruningConfig,
-    exact_waste: bool,
-    observe: bool = False,
-) -> None:
-    _WORKER_STATE["shared"] = _SharedBest(cell)
-    _WORKER_STATE["stats"] = stats
-    _WORKER_STATE["pruning"] = pruning
-    _WORKER_STATE["exact_waste"] = exact_waste
-    if observe:
-        # parent had a recorder on: record in this worker too and ship a
-        # snapshot back with every chunk result (merged by the parent)
-        obs.enable()
-
-
-def _pool_scan(
-    chunk: List[Tuple[int, Plan]],
-) -> Tuple[Optional[_BestKey], PruningStats,
-           Optional[obs.RecorderSnapshot]]:
-    shared = _WORKER_STATE["shared"]
-    stats = _WORKER_STATE["stats"]
-    pruning = _WORKER_STATE["pruning"]
-    exact_waste = _WORKER_STATE["exact_waste"]
-    worker_stats = PruningStats()
-    best: Optional[_BestKey] = None
-    for plan_index, plan in chunk:
-        local = _fast_scan_plan(
-            plan, plan_index, stats, pruning, exact_waste,
-            worker_stats, shared,
-        )
-        if local is not None and (best is None or local < best):
-            best = local
-    recorder = obs.get_recorder()
-    snapshot = recorder.snapshot() if recorder is not None else None
-    if recorder is not None:
-        # one chunk per worker: reset so a reused worker process (pool
-        # implementations may recycle) does not re-ship earlier spans
-        obs.enable()
-    return best, worker_stats, snapshot
-
-
-def _fan_out(
-    plan_list: Sequence[Plan],
-    stats: ClusterStats,
-    pruning: PruningConfig,
-    exact_waste: bool,
-    workers: int,
-    pruning_stats: PruningStats,
-) -> Optional[_BestKey]:
-    """Strided process-pool fan-out over candidate plans.
-
-    Chunks keep global plan indices so the merged best key -- the
-    lexicographic minimum over ``(cost, plan, mask)`` -- is independent
-    of how plans were distributed or how the shared bound propagated.
-    Only ``PruningStats``' Rule 3 counters are timing-dependent.
-    """
-    import multiprocessing
-
-    indexed = list(enumerate(plan_list))
-    chunks = [indexed[offset::workers] for offset in range(workers)]
-    chunks = [chunk for chunk in chunks if chunk]
-    cell = multiprocessing.Value("d", float("inf"))
-    best_key: Optional[_BestKey] = None
-    recorder = obs.get_recorder()
-    pool = multiprocessing.Pool(
-        processes=len(chunks),
-        initializer=_pool_initializer,
-        initargs=(cell, stats, pruning, exact_waste,
-                  recorder is not None),
-    )
-    try:
-        outcomes = pool.map(_pool_scan, chunks)
-    finally:
-        pool.close()
-        pool.join()
-    for index, (worker_best, worker_stats, snapshot) in enumerate(outcomes):
-        pruning_stats.merge(worker_stats)
-        if recorder is not None and snapshot is not None:
-            recorder.merge(snapshot, track=f"search-worker-{index}")
-        if worker_best is not None and (
-            best_key is None or worker_best < best_key
-        ):
-            best_key = worker_best
-    return best_key

@@ -221,6 +221,55 @@ class SearchContext:
         """
         return self._dominant_total(failure_free=False)
 
+    def dominant_scores(self) -> Tuple[float, float]:
+        """``(R_max, T_max)`` fused into a single collapsed-DAG pass.
+
+        The Rule 3 branch of the fast scan needs the failure-free bound
+        ``R_max`` for the cheap check and -- whenever the check does not
+        prune -- the full dominant cost ``T_max``; computing them
+        separately walks the collapsed DAG twice.  This fused pass runs
+        both dynamic programs side by side.  The two accumulations are
+        independent (each anchor's ``R`` prefix only reads ``R``
+        prefixes, ``T`` only ``T``), performing exactly the additions
+        and comparisons of :meth:`failure_free_dominant` and
+        :meth:`dominant_cost` in the same order, so each component is
+        bit-identical to its standalone counterpart.
+        """
+        self._refresh_order()
+        groups = self._groups
+        group_in = self._group_in
+        cache = self._runtime_cache
+        inner = self._collapsed_inner
+        ff_prefix: Dict[int, float] = {}
+        prefix: Dict[int, float] = {}
+        best_ff: Optional[float] = None
+        best: Optional[float] = None
+        for anchor in self._collapsed_order:
+            total = groups[anchor].total_cost
+            cached = cache.get(total)
+            if cached is None:
+                cached = cost_model.operator_runtime(
+                    total, self.stats, exact_waste=self.exact_waste
+                )
+                cache[total] = cached
+                self.runtime_cache_misses += 1
+            ff_value = total
+            value = cached
+            incoming = group_in[anchor]
+            if incoming:
+                ff_value = max(ff_prefix[p] for p in incoming) + ff_value
+                value = max(prefix[p] for p in incoming) + value
+            ff_prefix[anchor] = ff_value
+            prefix[anchor] = value
+            if anchor not in inner:  # a collapsed sink ends a path
+                if best_ff is None or ff_value > best_ff:
+                    best_ff = ff_value
+                if best is None or value > best:
+                    best = value
+        self.runtime_lookups += len(self._collapsed_order)
+        assert best_ff is not None and best is not None
+        return best_ff, best
+
     def _dominant_total(self, failure_free: bool) -> float:
         self._refresh_order()
         groups = self._groups

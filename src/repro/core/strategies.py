@@ -119,6 +119,8 @@ class CostBased(FaultToleranceScheme):
         engine: str = "fast",
         parallelism: int = 1,
         preflight_lint: bool = True,
+        shards: "int | None" = None,
+        config_limit: "int | None" = None,
     ) -> None:
         self.pruning = pruning
         self.exact_waste = exact_waste
@@ -128,6 +130,8 @@ class CostBased(FaultToleranceScheme):
         # (e.g. simulation campaigns) that already linted the plan once
         # up front instead of once per worker process
         self.preflight_lint = preflight_lint
+        self.shards = shards
+        self.config_limit = config_limit
 
     def configure(self, plan: Plan, stats: ClusterStats) -> ConfiguredPlan:
         result = find_best_ft_plan(
@@ -137,6 +141,8 @@ class CostBased(FaultToleranceScheme):
             preflight_lint=self.preflight_lint,
             engine=self.engine,
             parallelism=self.parallelism,
+            shards=self.shards,
+            config_limit=self.config_limit,
         )
         return ConfiguredPlan(
             plan=result.plan,
@@ -179,15 +185,18 @@ class CostBasedWithOpCheckpoints(CostBased):
 def standard_schemes(
     engine: str = "fast", parallelism: int = 1,
     preflight_lint: bool = True,
+    shards: "int | None" = None,
+    config_limit: "int | None" = None,
 ) -> "list[FaultToleranceScheme]":
-    """``engine``/``parallelism``/``preflight_lint`` configure the
-    cost-based search only."""
+    """``engine``/``parallelism``/``shards``/``config_limit``/
+    ``preflight_lint`` configure the cost-based search only."""
     return [
         AllMat(),
         NoMatLineage(),
         NoMatRestart(),
         CostBased(engine=engine, parallelism=parallelism,
-                  preflight_lint=preflight_lint),
+                  preflight_lint=preflight_lint,
+                  shards=shards, config_limit=config_limit),
     ]
 
 

@@ -1,9 +1,16 @@
-"""Join-order enumeration: join graphs, DP top-k optimization, and the
-exhaustive cross-product-free enumeration of the pruning experiment."""
+"""Join-order enumeration: join graphs, DP top-k optimization, the
+exhaustive cross-product-free enumeration of the pruning experiment, and
+the seeded synthetic large-DAG generator the sharded search scales on."""
 
 from .dp import RankedTree, top_k_plans
 from .exhaustive import count_join_trees, enumerate_join_trees
 from .graph import JoinEdge, JoinGraph, Relation
+from .synthetic import (
+    SyntheticSpec,
+    scaling_specs,
+    synthetic_join_graph,
+    synthetic_plan,
+)
 from .tpch_graphs import q3_join_graph, q5_join_graph
 from .trees import JoinTree, cout_cost, left_deep, tree_to_plan
 
@@ -13,12 +20,16 @@ __all__ = [
     "JoinTree",
     "RankedTree",
     "Relation",
+    "SyntheticSpec",
     "count_join_trees",
     "cout_cost",
     "enumerate_join_trees",
     "left_deep",
     "q3_join_graph",
     "q5_join_graph",
+    "scaling_specs",
+    "synthetic_join_graph",
+    "synthetic_plan",
     "top_k_plans",
     "tree_to_plan",
 ]

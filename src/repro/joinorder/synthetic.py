@@ -1,0 +1,242 @@
+"""Seeded synthetic large-DAG generator: the scaling regime's workload.
+
+The TPC-H queries of the paper top out at five free operators (Q5), so
+the search benchmarks enumerate at most a few thousand configurations.
+Production DAGs have 50-500 operators, and the sharded search
+(:mod:`repro.core.shard`) exists for exactly that regime -- but it needs
+plans to run on.  This module generates them: deterministic,
+seed-reproducible join plans with ``n`` free operators (n = 20..100 and
+beyond), configurable tree shape (fan-in/depth) and selectivity regime,
+lowered through the same :func:`~repro.joinorder.trees.tree_to_plan`
+pipeline as the TPC-H workloads so every downstream consumer (search
+engines, pruning rules, linter, simulator) sees a perfectly ordinary
+plan.
+
+Generation runs *tree first*: a join tree of the requested shape is
+drawn, then the join graph receives exactly the edges the tree's joins
+need (plus optional extra edges), so every generated tree is
+cross-product-free by construction -- no rejection sampling, identical
+output for identical specs on every platform.
+
+Typical use::
+
+    from repro.joinorder.synthetic import SyntheticSpec, synthetic_plan
+
+    plan = synthetic_plan(SyntheticSpec(n_joins=40, seed=7,
+                                        shape="bushy"))
+    assert len(plan.free_operators) == 40
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.plan import Plan
+from ..stats.estimates import CostParameters
+from .graph import JoinGraph
+from .trees import JoinTree, tree_to_plan
+
+#: tree shapes: chain (maximal depth), balanced (maximal fan-in of
+#: independent sub-pipelines), or a seeded mix of the two
+SHAPES = ("left-deep", "bushy", "random")
+
+#: selectivity regimes: how aggressively joins cut cardinalities
+SELECTIVITY_REGIMES = ("uniform", "sparse", "mixed")
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic plan (hashable, frozen -- cache-key
+    friendly).
+
+    Parameters
+    ----------
+    n_joins:
+        Number of join operators == number of *free* operators of the
+        generated plan (the bound aggregate on top is extra).
+    seed:
+        Drives every random draw; equal specs generate equal plans.
+    shape:
+        ``"left-deep"`` chains every join (depth ``n``),
+        ``"bushy"`` splits relation runs in half recursively
+        (depth ``~log2 n``, wide independent sub-pipelines),
+        ``"random"`` picks a seeded split point per node.
+    selectivity:
+        ``"uniform"`` draws every edge selectivity from one band,
+        ``"sparse"`` uses very selective joins (small intermediates),
+        ``"mixed"`` alternates selective and permissive edges -- the
+        regime with the most cost variance between configurations.
+    extra_edge_rate:
+        Probability of adding a non-tree join edge between neighbouring
+        relations (denser graphs change cardinalities, not the tree).
+    min_rows / max_rows:
+        Log-uniform band for base-relation cardinalities.
+    """
+
+    n_joins: int
+    seed: int = 0
+    shape: str = "random"
+    selectivity: str = "mixed"
+    extra_edge_rate: float = 0.15
+    # NOTE the narrow default band: JoinGraph.set_cardinality multiplies
+    # *all* member rows before applying selectivities, so a 100-relation
+    # set needs sum(log10 rows) < ~300 to stay finite in float64.
+    min_rows: float = 10.0
+    max_rows: float = 1e3
+
+    def __post_init__(self) -> None:
+        if self.n_joins < 1:
+            raise ValueError("n_joins must be >= 1")
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown shape {self.shape!r} "
+                             f"(expected one of {SHAPES})")
+        if self.selectivity not in SELECTIVITY_REGIMES:
+            raise ValueError(
+                f"unknown selectivity regime {self.selectivity!r} "
+                f"(expected one of {SELECTIVITY_REGIMES})"
+            )
+        if not 0.0 <= self.extra_edge_rate <= 1.0:
+            raise ValueError("extra_edge_rate must be in [0, 1]")
+        if not 0 < self.min_rows <= self.max_rows:
+            raise ValueError("need 0 < min_rows <= max_rows")
+
+
+def _draw_fanout(rng: random.Random, regime: str, edge_index: int) -> float:
+    """The join's *fan-out factor* ``f``: ``|out| ~= f * max(|L|, |R|)``.
+
+    Tree-edge selectivities are solved from these targets (see
+    :func:`synthetic_join_graph`) rather than drawn absolutely: under the
+    independence model an absolute selectivity band makes intermediates
+    grow geometrically with ``n`` and overflow float64 near n=40.
+    Factors have geometric mean ~1 (uniform/mixed) so a 100-join chain
+    of intermediates neither overflows nor underflows the row band.
+    """
+    if regime == "uniform":
+        return rng.uniform(0.5, 2.0)
+    if regime == "sparse":
+        return rng.uniform(0.1, 0.6)
+    # mixed: alternate permissive (growing) and selective (collapsing)
+    # joins so configurations differ sharply in materialization value
+    if edge_index % 2 == 0:
+        return rng.uniform(0.8, 5.0)
+    return rng.uniform(0.2, 1.25)
+
+
+def _build_tree(names: List[str], rng: random.Random,
+                shape: str) -> JoinTree:
+    """A join tree over ``names`` (in run order) of the requested shape."""
+    if len(names) == 1:
+        return JoinTree.leaf(names[0])
+    if shape == "left-deep":
+        split = len(names) - 1
+    elif shape == "bushy":
+        split = len(names) // 2
+    else:  # random: any proper split of the run
+        split = rng.randint(1, len(names) - 1)
+    left = _build_tree(names[:split], rng, shape)
+    right = _build_tree(names[split:], rng, shape)
+    return JoinTree.join(left, right)
+
+
+def _tree_joins(tree: JoinTree) -> List[Tuple[Tuple[str, ...],
+                                              Tuple[str, ...]]]:
+    """One (left run, right run) name pair per join, in post-order.
+
+    Joining adjacent runs of the relation sequence means the boundary
+    pair ``(last of left run, first of right run)`` always crosses the
+    join -- giving each join a graph edge keeps every intermediate
+    connected (no cartesian products) for *any* shape.  Post-order means
+    children precede parents, so the caller can calibrate each join's
+    selectivity against the cardinalities its children already have.
+    """
+    joins: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
+
+    def visit(node: JoinTree) -> Tuple[str, ...]:
+        if node.is_leaf:
+            return (node.relation,)
+        left_names = visit(node.left)
+        right_names = visit(node.right)
+        joins.append((left_names, right_names))
+        return left_names + right_names
+
+    visit(tree)
+    return joins
+
+
+def synthetic_join_graph(spec: SyntheticSpec) -> Tuple[JoinGraph, JoinTree]:
+    """Generate the (graph, tree) pair for ``spec``.
+
+    The tree is drawn first and the graph receives exactly the edges the
+    tree needs (plus seeded extras), so the tree is guaranteed
+    cross-product-free in the graph.
+    """
+    rng = random.Random(spec.seed)
+    count = spec.n_joins + 1
+    names = [f"R{index:03d}" for index in range(count)]
+    graph = JoinGraph()
+    log_lo, log_hi = math.log(spec.min_rows), math.log(spec.max_rows)
+    for name in names:
+        # log-uniform rows: production tables span orders of magnitude
+        rows = math.exp(rng.uniform(log_lo, log_hi))
+        graph.add_relation(name, rows=rows,
+                           width=rng.choice((8.0, 16.0, 32.0, 64.0)))
+
+    tree = _build_tree(names, rng, spec.shape)
+    # extra edges go in first so the tree-edge calibration below already
+    # accounts for their selectivity; distance-2 pairs never collide with
+    # tree edges, which always connect *adjacent* names in the sequence
+    for index in range(count - 2):
+        if rng.random() < spec.extra_edge_rate:
+            graph.add_edge(names[index], names[index + 2],
+                           rng.uniform(0.05, 0.9))
+    # tree edges, children first: solve each join's selectivity so its
+    # output hits ``f * max(|L|, |R|)`` given everything already placed
+    for index, (left_run, right_run) in enumerate(_tree_joins(tree)):
+        fanout = _draw_fanout(rng, spec.selectivity, index)
+        card_left = graph.set_cardinality(left_run)
+        card_right = graph.set_cardinality(right_run)
+        card_open = graph.set_cardinality(left_run + right_run)
+        # the cap stops deep chains from ratcheting upward: the max()
+        # target resets low excursions at the base-relation band but
+        # would let high excursions compound over ~n joins otherwise
+        target = min(fanout * max(card_left, card_right),
+                     100.0 * spec.max_rows)
+        selectivity = 1.0
+        if card_open > 0.0 and target < card_open:
+            selectivity = max(target / card_open, 1e-12)
+        graph.add_edge(left_run[-1], right_run[0], selectivity)
+    return graph, tree
+
+
+def synthetic_plan(
+    spec: SyntheticSpec,
+    params: CostParameters = CostParameters(
+        cpu_row_cost=0.01, mat_byte_cost=2e-4, nodes=10
+    ),
+) -> Plan:
+    """Generate the costed plan for ``spec`` (n_joins free operators).
+
+    The default calibration keeps operator runtimes in the
+    seconds-to-minutes band at the generator's default cardinalities, so
+    cluster MTBFs from minutes to days produce interesting retry
+    behaviour; pass custom :class:`CostParameters` to re-anchor.
+    """
+    graph, tree = synthetic_join_graph(spec)
+    plan = tree_to_plan(tree, graph, params)
+    assert len(plan.free_operators) == spec.n_joins
+    return plan
+
+
+def scaling_specs(
+    sizes: Tuple[int, ...] = (20, 40, 60, 100),
+    seed: int = 0,
+) -> List[SyntheticSpec]:
+    """The benchmark ladder: one mixed-regime spec per requested size."""
+    return [
+        SyntheticSpec(n_joins=size, seed=seed + size, shape="random",
+                      selectivity="mixed")
+        for size in sizes
+    ]

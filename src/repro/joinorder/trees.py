@@ -139,7 +139,9 @@ def tree_to_plan(
         return op_id, out_rows
 
     root_id, root_rows = lower(tree)
-    agg_id = 99
+    # 99 matches the paper's figures for the hand-sized queries; synthetic
+    # plans with >= 99 joins bump past the join ids to stay collision-free
+    agg_id = max(99, join_counter[0] + 1)
     plan.add_operator(Operator(
         op_id=agg_id,
         name="Aggregate",

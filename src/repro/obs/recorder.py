@@ -90,9 +90,23 @@ class _SpanHandle:
 #: counter namespaces measuring process-local state (cache hit/miss
 #: tallies, pool retry plumbing): their totals legitimately depend on
 #: how work was scheduled, so determinism comparisons must skip them.
-PROCESS_LOCAL_COUNTER_PREFIXES: Tuple[str, ...] = ("cache.",)
+PROCESS_LOCAL_COUNTER_PREFIXES: Tuple[str, ...] = (
+    "cache.",
+    # collapse mechanics: how an engine *maintains* group state (full
+    # rebuilds, incremental flips, functional probes) is an
+    # implementation detail that differs by engine and shard layout
+    "search.collapse.",
+)
 PROCESS_LOCAL_COUNTERS: Tuple[str, ...] = (
     "campaign.retries", "campaign.serial_fallbacks",
+    # sharded-search orchestration: shard count tracks the requested
+    # topology, and Rule-3 / prefilter effectiveness depends on bound
+    # propagation timing between workers (the *result* stays
+    # bit-identical; only how much work each shard skipped varies)
+    "search.shards", "search.retries", "search.serial_fallbacks",
+    "search.bound_updates", "search.bound_skips",
+    "search.batch_prefiltered",
+    "search.paths_estimated", "search.rule3.plan_cutoffs",
 )
 
 

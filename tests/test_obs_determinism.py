@@ -119,10 +119,14 @@ class TestMergeInvariance:
                                                 engine="fast",
                                                 parallelism=2)
         assert result_parallel.cost == result_serial.cost
-        # the search.* family is recorded once, from merged PruningStats,
-        # so it is job-count-invariant by construction
-        serial_search = {k: v for k, v in serial.counters.items()
-                         if k.startswith("search.")}
-        parallel_search = {k: v for k, v in parallel.counters.items()
-                           if k.startswith("search.")}
-        assert parallel_search == serial_search
+        # deterministic search.* counters are engine- and job-count
+        # invariant; the process-local family (shard topology, bound
+        # propagation effectiveness, collapse mechanics) legitimately
+        # differs between the serial engine and the sharded path
+
+        def search_only(counters):
+            return {k: v for k, v in counters.items()
+                    if k.startswith("search.")}
+
+        assert search_only(parallel.deterministic_counters()) == \
+            search_only(serial.deterministic_counters())

@@ -1,0 +1,507 @@
+"""Property suite for the sharded large-DAG search (``repro.core.shard``).
+
+The sharded engine is a performance implementation certified against
+two references: the naive oracle and the serial fast engine.  All
+equality here is exact ``==`` on the ``(cost, plan, mask)`` key -- the
+shard kernel changes *where* numbers come from, never *which* float
+operations compute them, so any ulp of drift is a bug.
+
+Covered:
+
+* windowed subspace parameterization (``subspace_params`` /
+  ``subspace_mask``) -- the capped Gray sequences shards scan;
+* kernel scoring bit-identity against a plain ``SearchContext``
+  positioned at the same configuration;
+* sharded == serial fast == naive across shard counts, worker counts,
+  DAG sizes, pruning configs and config limits;
+* the certified batch prefilter's ulp envelope
+  (``batch_certified_exceeds``);
+* resilience: crashing workers (chaos ``WorkerCrashes``) degrade to
+  retries and finally the in-process serial path, same answer;
+* bound propagation observability: a large DAG in a rare-failure
+  regime must produce nonzero ``search.bound_skips``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.chaos import FaultPolicy, WorkerCrashes
+from repro.core import cost_model
+from repro.core.cost_model import (
+    BATCH_CERTIFIED_MAX_RATIO,
+    BATCH_ENVELOPE,
+    ClusterStats,
+    batch_certified_exceeds,
+)
+from repro.core.enumeration import (
+    _find_best_fast,
+    _find_best_naive,
+    find_best_ft_plan,
+)
+from repro.core.pruning import PruningConfig
+from repro.core.search_context import SearchContext
+from repro.core.shard import (
+    BoundChannel,
+    ShardKernel,
+    partition_shards,
+    sharded_search,
+    subspace_mask,
+    subspace_params,
+)
+from repro.joinorder.synthetic import SyntheticSpec, synthetic_plan
+
+
+def _plan(n_joins: int, seed: int):
+    return synthetic_plan(SyntheticSpec(n_joins=n_joins, seed=seed))
+
+
+def _base_runtime(plan) -> float:
+    return sum(op.runtime_cost for op in plan.operators.values())
+
+
+def _rare_failure_stats(plan) -> ClusterStats:
+    """MTBF far above the plan runtime: mat-free optima, deep pruning."""
+    base = _base_runtime(plan)
+    return ClusterStats(mtbf=base * 20.0, mttr=base * 0.1, const_pipe=0.9)
+
+
+def _frequent_failure_stats(plan) -> ClusterStats:
+    base = _base_runtime(plan)
+    return ClusterStats(mtbf=base / 5.0, mttr=base * 0.05, const_pipe=0.85)
+
+
+def _result_key(result, plan_index: int = 0):
+    """``SearchResult`` -> the sharded engine's ``(cost, plan, mask)``."""
+    mask = 0
+    for bit, (_op, flag) in enumerate(result.mat_config):
+        if flag:
+            mask |= 1 << bit
+    return (result.cost, plan_index, mask)
+
+
+# ----------------------------------------------------------------------
+# subspace parameterization
+# ----------------------------------------------------------------------
+class TestSubspaceParams:
+    def test_uncapped_covers_full_space(self):
+        count, shift, pinned = subspace_params(6, None)
+        assert (count, shift, pinned) == (64, 0, 0)
+        masks = {subspace_mask(i, shift, pinned) for i in range(count)}
+        assert masks == set(range(64))
+
+    def test_limit_at_or_above_space_is_uncapped(self):
+        assert subspace_params(4, 16) == subspace_params(4, None)
+        assert subspace_params(4, 1000) == subspace_params(4, None)
+
+    def test_limit_one_pins_everything(self):
+        count, shift, pinned = subspace_params(5, 1)
+        assert count == 1
+        # the window keeps at least one free bit; the rest are pinned
+        # materialized, matching the naive engine's capped enumeration
+        assert shift == 4
+        assert pinned == 0b1111
+        assert subspace_mask(0, shift, pinned) == 0b01111
+
+    def test_window_spans_highest_bits(self):
+        count, shift, pinned = subspace_params(10, 100)
+        # ceil(log2(100)) = 7 window bits over the top of 10
+        assert count == 100
+        assert shift == 3
+        assert pinned == 0b111
+        masks = [subspace_mask(i, shift, pinned) for i in range(count)]
+        assert len(set(masks)) == count
+        for mask in masks:
+            assert mask & pinned == pinned  # deep ops stay materialized
+
+    def test_gray_sequence_flips_one_bit(self):
+        count, shift, pinned = subspace_params(8, 64)
+        previous = subspace_mask(0, shift, pinned)
+        for i in range(1, count):
+            current = subspace_mask(i, shift, pinned)
+            assert bin(previous ^ current).count("1") == 1
+            previous = current
+
+    def test_zero_free_operators(self):
+        count, shift, pinned = subspace_params(0, None)
+        assert (count, shift, pinned) == (1, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# shard partitioning
+# ----------------------------------------------------------------------
+class TestPartitionShards:
+    def test_covers_every_position_once(self):
+        subspaces = [(100, 0, 0), (37, 2, 3)]
+        specs = partition_shards(subspaces, shards=8)
+        for plan_index, (count, shift, pinned) in enumerate(subspaces):
+            ranges = sorted(
+                (s.start, s.end) for s in specs
+                if s.plan_index == plan_index
+            )
+            covered = []
+            for start, end in ranges:
+                assert start < end
+                covered.extend(range(start, end))
+            assert covered == list(range(count))
+            for spec in specs:
+                if spec.plan_index == plan_index:
+                    assert (spec.shift, spec.pinned) == (shift, pinned)
+
+    def test_never_spans_plans_and_indices_are_sequential(self):
+        specs = partition_shards([(64, 0, 0), (64, 0, 0)], shards=6)
+        assert [s.index for s in specs] == list(range(len(specs)))
+
+    def test_min_shard_floors_granularity(self):
+        specs = partition_shards([(64, 0, 0)], shards=64, min_shard=16)
+        assert len(specs) == 4
+        assert all(s.end - s.start == 16 for s in specs)
+
+    def test_deterministic(self):
+        subspaces = [(1000, 1, 1), (321, 0, 0)]
+        assert partition_shards(subspaces, 7) == \
+            partition_shards(subspaces, 7)
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            partition_shards([(8, 0, 0)], shards=0)
+
+
+# ----------------------------------------------------------------------
+# the shared best-cost bound
+# ----------------------------------------------------------------------
+class TestBoundChannel:
+    def test_local_monotone_decrease(self):
+        channel = BoundChannel()
+        channel.publish(10.0)
+        channel.publish(12.0)  # worse: ignored
+        assert channel.best == 10.0
+        assert channel.updates == 1
+        channel.publish(4.0)
+        assert channel.best == 4.0
+        assert channel.updates == 2
+
+    def test_refresh_without_cell_is_noop(self):
+        channel = BoundChannel()
+        channel.refresh()
+        assert channel.best == float("inf")
+
+    def test_cell_propagation_and_refresh(self):
+        cell = multiprocessing.Value("d", float("inf"))
+        writer = BoundChannel(cell)
+        reader = BoundChannel(cell)
+        writer.publish(7.0)
+        assert cell.value == 7.0
+        reader.refresh()
+        assert reader.best == 7.0
+        # an externally lowered cell wins on refresh...
+        with cell.get_lock():
+            cell.value = 3.0
+        writer.refresh()
+        assert writer.best == 3.0
+        # ...and a worse publish does not raise it back
+        writer.publish(5.0)
+        assert cell.value == 3.0
+
+
+# ----------------------------------------------------------------------
+# kernel scoring bit-identity vs the reference SearchContext
+# ----------------------------------------------------------------------
+class TestKernelBitIdentity:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        plan = _plan(10, seed=7)
+        stats = _rare_failure_stats(plan)
+        kernel = ShardKernel(plan, stats)
+        reference = SearchContext(plan, stats)
+        return plan, stats, kernel, reference
+
+    def test_cheap_bounds_match_failure_free_dominant(self, setup):
+        _plan_, _stats, kernel, reference = setup
+        for mask in (0, 1, 0b1010, 0b1111111111, 0b0101010101):
+            kernel.set_mask(mask)
+            reference.set_mask(mask)
+            r_max, _max_total = kernel.cheap_bounds()
+            assert r_max == reference.failure_free_dominant()
+
+    def test_window_scorers_match_reference_per_mask(self, setup):
+        plan, _stats, kernel, reference = setup
+        n = len(plan.free_operators)
+        kernel.set_mask(0)
+        kernel.prepare_window((1 << n) - 1)
+        # a windowed Gray walk plus arbitrary probes, all without
+        # repositioning the kernel: the scorers are functions of the mask
+        probes = [i ^ (i >> 1) for i in range(64)]
+        probes += [0, (1 << n) - 1, 0b1100110011 % (1 << n)]
+        for mask in probes:
+            reference.set_mask(mask)
+            r_max, _max_total = kernel.window_bounds(mask)
+            total = kernel.window_cost()
+            assert r_max == reference.failure_free_dominant()
+            assert total == reference.dominant_cost()
+
+    def test_windowed_subspace_matches_reference(self, setup):
+        plan, _stats, kernel, _reference = setup
+        n = len(plan.free_operators)
+        count, shift, pinned = subspace_params(n, 32)
+        fresh = SearchContext(plan, kernel.stats)
+        kernel.set_mask(subspace_mask(0, shift, pinned))
+        kernel.prepare_window(((1 << n) - 1) ^ pinned)
+        for i in range(count):
+            mask = subspace_mask(i, shift, pinned)
+            fresh.set_mask(mask)
+            r_max, _ = kernel.window_bounds(mask)
+            assert r_max == fresh.failure_free_dominant()
+            assert kernel.window_cost() == fresh.dominant_cost()
+
+    def test_flip_outside_window_invalidates(self):
+        plan = _plan(8, seed=1)
+        stats = _rare_failure_stats(plan)
+        kernel = ShardKernel(plan, stats)
+        n = len(plan.free_operators)
+        count, shift, pinned = subspace_params(n, 4)
+        window = ((1 << n) - 1) ^ pinned
+        kernel.set_mask(subspace_mask(0, shift, pinned))
+        kernel.prepare_window(window)
+        assert kernel._window_mask == window
+        # repositioning on a pinned (static) bit must drop the tables
+        kernel.set_mask(kernel.mask ^ 1)
+        assert kernel._window_mask is None
+        with pytest.raises(RuntimeError):
+            kernel.window_bounds(0)
+        # and a re-prepare restores exact scoring
+        kernel.set_mask(subspace_mask(0, shift, pinned))
+        kernel.prepare_window(window)
+        reference = SearchContext(plan, stats)
+        mask = subspace_mask(count - 1, shift, pinned)
+        reference.set_mask(mask)
+        r_max, _ = kernel.window_bounds(mask)
+        assert r_max == reference.failure_free_dominant()
+        assert kernel.window_cost() == reference.dominant_cost()
+
+
+# ----------------------------------------------------------------------
+# the headline property: sharded == serial fast == naive
+# ----------------------------------------------------------------------
+class TestShardedEqualsSerial:
+    PRUNINGS = [
+        ("none", PruningConfig(rule1=False, rule2=False, rule3=False)),
+        ("rule3", PruningConfig(rule1=False, rule2=False, rule3=True)),
+        ("all", PruningConfig.all()),
+    ]
+
+    @pytest.mark.parametrize("pruning_name,pruning",
+                             PRUNINGS, ids=[p[0] for p in PRUNINGS])
+    @pytest.mark.parametrize("n_joins,seed", [(10, 3), (12, 5)])
+    def test_serial_shards_match_both_references(
+        self, n_joins, seed, pruning_name, pruning
+    ):
+        plan = _plan(n_joins, seed)
+        for stats in (_rare_failure_stats(plan),
+                      _frequent_failure_stats(plan)):
+            for limit in (1, 7, 100, None):
+                naive = _find_best_naive([plan], stats, pruning, False,
+                                         config_limit=limit)
+                fast = _find_best_fast([plan], stats, pruning, False,
+                                       config_limit=limit)
+                assert _result_key(naive) == _result_key(fast)
+                for shards in (1, 3, 8):
+                    key, _stats_out = sharded_search(
+                        [plan], stats, pruning,
+                        shards=shards, config_limit=limit,
+                    )
+                    assert key == _result_key(naive), (
+                        f"shards={shards} limit={limit} "
+                        f"pruning={pruning_name}"
+                    )
+
+    def test_worker_pool_matches_serial(self):
+        plan = _plan(12, seed=5)
+        stats = _rare_failure_stats(plan)
+        pruning = PruningConfig.all()
+        fast = _find_best_fast([plan], stats, pruning, False,
+                               config_limit=1024)
+        key, _ = sharded_search(
+            [plan], stats, pruning,
+            parallelism=2, shards=6, config_limit=1024,
+        )
+        assert key == _result_key(fast)
+
+    def test_multi_plan_tie_ordering(self):
+        # identical plans tie on cost; the reduce must prefer the lower
+        # plan index, exactly like the serial engines' first-wins scan
+        plan = _plan(8, seed=2)
+        stats = _rare_failure_stats(plan)
+        pruning = PruningConfig.none()
+        key, _ = sharded_search([plan, plan], stats, pruning, shards=5)
+        fast = _find_best_fast([plan, plan], stats, pruning, False)
+        assert key == _result_key(fast)
+        assert key[1] == 0
+
+    def test_find_best_ft_plan_routes_to_sharded(self):
+        plan = _plan(10, seed=3)
+        stats = _rare_failure_stats(plan)
+        serial = find_best_ft_plan([plan], stats,
+                                   pruning=PruningConfig.all())
+        sharded = find_best_ft_plan([plan], stats,
+                                    pruning=PruningConfig.all(),
+                                    shards=4)
+        assert sharded.cost == serial.cost
+        assert sharded.mat_config == serial.mat_config
+
+    def test_argument_validation(self):
+        plan = _plan(8, seed=2)
+        stats = _rare_failure_stats(plan)
+        with pytest.raises(ValueError):
+            sharded_search([], stats, PruningConfig.none())
+        with pytest.raises(ValueError):
+            sharded_search([plan], stats, PruningConfig.none(),
+                           parallelism=0)
+        with pytest.raises(ValueError):
+            sharded_search([plan], stats, PruningConfig.none(),
+                           config_limit=0)
+        with pytest.raises(ValueError):
+            find_best_ft_plan([plan], stats, engine="naive",
+                              parallelism=2)
+        with pytest.raises(ValueError):
+            find_best_ft_plan([plan], stats, engine="naive", shards=4)
+
+
+# ----------------------------------------------------------------------
+# resilience: crashing workers
+# ----------------------------------------------------------------------
+class TestWorkerCrashResilience:
+    def _search(self, chaos, max_retries=1):
+        plan = _plan(10, seed=3)
+        stats = _rare_failure_stats(plan)
+        pruning = PruningConfig.all()
+        expected = _result_key(
+            _find_best_fast([plan], stats, pruning, False,
+                            config_limit=256)
+        )
+        key, _ = sharded_search(
+            [plan], stats, pruning,
+            parallelism=2, shards=4, config_limit=256,
+            chaos=chaos, max_retries=max_retries, retry_backoff=0.0,
+        )
+        assert key == expected
+
+    def test_intermittent_crashes_retry_to_same_answer(self):
+        chaos = FaultPolicy(seed=13,
+                            worker_crashes=WorkerCrashes(rate=0.5))
+        self._search(chaos, max_retries=3)
+
+    def test_total_crash_falls_back_to_serial(self):
+        # every worker dies every round: retries exhaust and the driver
+        # must finish in-process, not hang or surface BrokenProcessPool
+        chaos = FaultPolicy(seed=7,
+                            worker_crashes=WorkerCrashes(rate=1.0))
+        self._search(chaos, max_retries=1)
+
+    def test_fallback_is_counted(self):
+        plan = _plan(8, seed=2)
+        stats = _rare_failure_stats(plan)
+        chaos = FaultPolicy(seed=7,
+                            worker_crashes=WorkerCrashes(rate=1.0))
+        with obs.recording() as recorder:
+            sharded_search([plan], stats, PruningConfig.all(),
+                           parallelism=2, shards=4, config_limit=64,
+                           chaos=chaos, max_retries=1,
+                           retry_backoff=0.0)
+        counters = recorder.counters
+        assert counters.get("search.retries", 0) >= 1
+        # every shard still pending when retries exhausted is counted
+        assert 1 <= counters.get("search.serial_fallbacks", 0) <= 4
+
+
+# ----------------------------------------------------------------------
+# observability: bound propagation on a large DAG
+# ----------------------------------------------------------------------
+class TestBoundPropagation:
+    def test_large_dag_produces_bound_skips(self):
+        plan = _plan(40, seed=40)
+        stats = _rare_failure_stats(plan)
+        with obs.recording() as recorder:
+            key, stats_out = sharded_search(
+                [plan], stats, PruningConfig.all(),
+                shards=4, config_limit=2048,
+            )
+        counters = recorder.counters
+        assert counters["search.shards"] == 4
+        assert counters["search.bound_skips"] > 0
+        assert counters["search.bound_updates"] >= 1
+        assert stats_out.rule3_plan_cutoffs == \
+            counters["search.bound_skips"]
+        # the skips are real work avoided: strictly fewer exact scores
+        # than enumerated configurations
+        assert stats_out.paths_estimated < stats_out.configs_enumerated
+        assert key is not None
+
+    def test_exhaustive_mode_never_skips(self):
+        plan = _plan(12, seed=5)
+        stats = _rare_failure_stats(plan)
+        with obs.recording() as recorder:
+            _key, stats_out = sharded_search(
+                [plan], stats,
+                PruningConfig(rule1=True, rule2=True, rule3=False),
+                shards=4, config_limit=512,
+            )
+        assert recorder.counters.get("search.bound_skips", 0) == 0
+        assert recorder.counters.get("search.batch_prefiltered", 0) == 0
+        assert stats_out.paths_estimated == stats_out.configs_enumerated
+
+
+# ----------------------------------------------------------------------
+# the certified batch prefilter's ulp envelope
+# ----------------------------------------------------------------------
+class TestBatchCertification:
+    MTBF_COST = 10.0
+
+    def test_rejects_non_finite_batch_value(self):
+        assert not batch_certified_exceeds(
+            float("inf"), 100.0, 5.0, self.MTBF_COST)
+        assert not batch_certified_exceeds(
+            float("nan"), 100.0, 5.0, self.MTBF_COST)
+
+    def test_rejects_outside_certified_ratio(self):
+        # total_cost / mtbf_cost beyond the certified regime: the ulp
+        # bound on the vectorized formula no longer holds, so no skip
+        total = BATCH_CERTIFIED_MAX_RATIO * self.MTBF_COST
+        assert batch_certified_exceeds(200.0, 100.0, total,
+                                       self.MTBF_COST)
+        assert not batch_certified_exceeds(
+            200.0, 100.0, math.nextafter(total, math.inf),
+            self.MTBF_COST)
+
+    def test_envelope_boundary_is_exclusive(self):
+        incumbent = 100.0
+        boundary = incumbent * (1.0 + BATCH_ENVELOPE)
+        assert not batch_certified_exceeds(
+            boundary, incumbent, 5.0, self.MTBF_COST)
+        assert batch_certified_exceeds(
+            math.nextafter(boundary, math.inf), incumbent, 5.0,
+            self.MTBF_COST)
+
+    def test_within_envelope_never_skips(self):
+        # a batch value above the incumbent but inside the ulp envelope
+        # could be vectorization noise on an exact tie: must score it
+        incumbent = 100.0
+        just_above = math.nextafter(incumbent, math.inf)
+        assert just_above > incumbent
+        assert not batch_certified_exceeds(
+            just_above, incumbent, 5.0, self.MTBF_COST)
+
+    def test_batch_runtime_matches_scalar_within_envelope(self):
+        # the envelope must actually contain the vectorized/scalar gap
+        # on realistic magnitudes
+        stats = ClusterStats(mtbf=900.0, mttr=1.0, const_pipe=0.9)
+        totals = [0.5, 1.0, 7.3, 42.0, 900.0 * 6.9]
+        batch = cost_model.operator_runtime_batch(totals, stats)
+        for total, vectorized in zip(totals, batch):
+            scalar = cost_model.operator_runtime(total, stats)
+            assert abs(vectorized - scalar) <= \
+                scalar * BATCH_ENVELOPE
