@@ -20,7 +20,11 @@ Main commands:
   Exits non-zero on error-severity findings;
 * ``sanitize`` -- runtime replay sanitizer: run a workload at jobs=1 and
   jobs=N, fingerprint every unit result, and report the first divergent
-  unit with its span path (clean exit 0, divergence exit 1).
+  unit with its span path (clean exit 0, divergence exit 1);
+* ``serve`` -- run the HTTP advisory service (:mod:`repro.serve`):
+  cached, coalesced ``advise`` requests over JSON with bounded-queue
+  backpressure (``--port`` / ``--workers`` / ``--cache-size`` /
+  ``--max-queue``; see ``docs/serve.md``).
 
 ``experiments`` and ``simulate`` also take ``--inject PRESET`` /
 ``--chaos-seed`` to run under a named fault policy.
@@ -318,6 +322,34 @@ def build_parser() -> argparse.ArgumentParser:
                                "both runs (replay must still match)")
     sanitize.add_argument("--chaos-seed", type=int, default=0,
                           help="seed for --chaos-preset (default 0)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP advisory service (cached, coalesced plan "
+             "search; see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8758,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8758)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="request worker threads draining the "
+                            "bounded queue (default 4)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       dest="cache_size",
+                       help="LRU advice-cache capacity; 0 disables "
+                            "caching (default 1024)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       dest="max_queue",
+                       help="bounded request queue length; a full "
+                            "queue sheds with HTTP 429 (default 64)")
+    serve.add_argument("--mtbf-buckets", type=int, default=8,
+                       dest="mtbf_buckets",
+                       help="stats-bucketing resolution (buckets per "
+                            "decade) for MTBF and the MTTR ratio; 0 "
+                            "keys the cache on exact stats (default 8)")
+    _add_search_arguments(serve)
     return parser
 
 
@@ -440,6 +472,8 @@ def _dispatch(args) -> int:
         return _run_lint(args)
     if args.command == "sanitize":
         return _run_sanitize(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -867,6 +901,47 @@ def _run_sanitize(args) -> int:
     )
     print(search_report.describe())
     return 0 if report.ok and search_report.ok else 1
+
+
+def _run_serve(args) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.cache_size < 0:
+        print("error: --cache-size must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_queue < 1:
+        print("error: --max-queue must be >= 1", file=sys.stderr)
+        return 2
+    if args.mtbf_buckets < 0:
+        print("error: --mtbf-buckets must be >= 0", file=sys.stderr)
+        return 2
+    status = _check_search_args(args)
+    if status:
+        return status
+    from .serve import AdvisoryEngine, StatsBucketing
+    from .serve.app import run_server
+
+    bucketing = None
+    if args.mtbf_buckets:
+        bucketing = StatsBucketing(
+            mtbf_resolution=args.mtbf_buckets,
+            ratio_resolution=args.mtbf_buckets,
+        )
+    engine = AdvisoryEngine(
+        cache_size=args.cache_size,
+        bucketing=bucketing,
+        search_engine=args.engine,
+        parallelism=args.parallelism,
+        shards=args.shards,
+        config_limit=args.config_limit,
+    )
+    run_server(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_size=args.cache_size, max_queue=args.max_queue,
+        engine=engine,
+    )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -69,6 +69,7 @@ from .pruning import (
 )
 from .search_context import SearchContext
 from .shard import (
+    ShardOutcome,
     config_space,
     sharded_search,
     subspace_mask,
@@ -197,8 +198,15 @@ def _load_preflight_check() -> Callable[..., None]:
     return _preflight_check
 
 
-def _plan_fingerprint(plan: Plan) -> Any:
-    """Hashable identity of a plan's operators, flags, costs and edges."""
+def plan_fingerprint(plan: Plan) -> Any:
+    """Hashable identity of a plan's operators, flags, costs and edges.
+
+    Two plans with equal fingerprints are interchangeable for every
+    search in this module: the fingerprint covers exactly the inputs the
+    engines read (operator attributes and the edge set), so it doubles
+    as the preflight memo key here and as the plan component of the
+    advisory cache key in :mod:`repro.serve`.
+    """
     operators = tuple(
         (
             op.op_id, op.name, op.runtime_cost, op.mat_cost,
@@ -208,6 +216,10 @@ def _plan_fingerprint(plan: Plan) -> Any:
         for _, op in sorted(plan.operators.items())
     )
     return operators, tuple(sorted(plan.edges()))
+
+
+#: backwards-compatible alias (pre-serve callers used the private name)
+_plan_fingerprint = plan_fingerprint
 
 
 def _preflight_once(plan: Plan, stats: ClusterStats) -> None:
@@ -236,6 +248,9 @@ def find_best_ft_plan(
     parallelism: int = 1,
     shards: Optional[int] = None,
     config_limit: Optional[int] = None,
+    shard_observer: Optional[
+        Callable[[Sequence[ShardOutcome]], None]
+    ] = None,
 ) -> SearchResult:
     """Listing 1: pick the fault-tolerant plan with the cheapest dominant path.
 
@@ -286,6 +301,13 @@ def find_best_ft_plan(
         plan's Gray sequence (the same subspace in every engine).  Makes
         plans with dozens of free operators tractable; ``None`` (the
         default) searches the full ``2^n`` space.
+    shard_observer:
+        Callback receiving the ordered
+        :class:`~repro.core.shard.ShardOutcome` list after a sharded
+        scan's reduce (the :class:`~repro.core.shard.ShardSizer`
+        feedback hook).  Only fires when the search actually routes to
+        the sharded subsystem (``parallelism > 1`` or ``shards > 1``);
+        it runs after the result is final and cannot affect it.
 
     Raises
     ------
@@ -326,6 +348,7 @@ def find_best_ft_plan(
                 plan_list, stats, pruning, exact_waste=exact_waste,
                 parallelism=parallelism, shards=shards,
                 config_limit=config_limit,
+                shard_observer=shard_observer,
             )
             result = _rebuild_result(
                 plan_list, best_key, stats, pruning, exact_waste,

@@ -57,7 +57,7 @@ Incremental-collapse invariants (single-bit flip of operator ``o``):
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from . import cost_model
 from .collapse import CollapsedOperator, CollapsedPlan
@@ -154,6 +154,43 @@ class SearchContext:
         for op_id in self._topo:
             if self._flags[op_id] or op_id in self._sinks:
                 self._rebuild_group(op_id)
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Slim pickle: the *inputs* plus the current position, nothing
+        derived.
+
+        A context accumulates large memo caches (``_group_cache``,
+        ``_runtime_cache``, membership sets) that every worker can
+        rebuild lazily from the plan alone; shipping them would dominate
+        the payload by an order of magnitude and buy nothing -- the
+        caches are only warm for configurations the *sender* visited.
+        The restored context re-derives everything in ``__init__`` and
+        steps to the pickled mask, so it scores every configuration
+        bit-identically to the original (the property suite pins this).
+        Observability tallies restart at zero: they count work actually
+        performed per process, which is what the cross-process merge
+        expects.
+
+        Subclasses (:class:`~repro.core.shard.ShardKernel`) inherit this
+        unchanged -- ``__setstate__`` dispatches to ``type(self)``'s
+        constructor, so a kernel round-trips as a kernel.
+        """
+        return {
+            "plan": self.plan,
+            "stats": self.stats,
+            "exact_waste": self.exact_waste,
+            "mask": self.mask,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(  # type: ignore[misc]
+            state["plan"], state["stats"],
+            exact_waste=state["exact_waste"],
+        )
+        self.set_mask(state["mask"])
 
     # ------------------------------------------------------------------
     # configuration stepping

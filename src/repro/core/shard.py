@@ -57,10 +57,13 @@ every bound the dead workers published.
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Set, Tuple,
+)
 
 from .. import obs
 from ..chaos.policy import FaultPolicy
@@ -793,6 +796,7 @@ class ShardOutcome:
     bound_updates: int       #: strict improvements published to the bound
     batch_prefiltered: int   #: skips certified by the batch prefilter
     snapshot: Optional[obs.RecorderSnapshot] = None
+    duration: float = 0.0    #: wall seconds the scan took (telemetry only)
 
 
 class BoundChannel:
@@ -826,6 +830,100 @@ class BoundChannel:
             with self._cell.get_lock():
                 if cost < self._cell.value:
                     self._cell.value = cost
+
+
+#: wall seconds one shard should take under adaptive sizing -- long
+#: enough to amortize per-shard setup, short enough that the slowest
+#: shard cannot idle the pool for long (work stealing stays effective)
+TARGET_SHARD_SECONDS = 0.2
+
+
+class ShardSizer:
+    """Adaptive shard-count recommendation from observed scan rates.
+
+    :data:`SHARDS_PER_WORKER` is a blind default: it over-partitions
+    enough for work stealing but knows nothing about how fast a
+    configuration actually scans, so small searches get carved into
+    setup-dominated slivers and huge ones into shards that run for
+    seconds.  The sizer closes the loop: every finished scan's
+    :class:`ShardOutcome` durations update an EWMA of the configs/second
+    rate, keyed by a *plan-size bucket* (the bit length of the total
+    searched config count, so a 1k-config search never pollutes the rate
+    learned for a 1M-config one), and the next search in the same bucket
+    gets ``shards = total / (rate * target_seconds)``.
+
+    Sizing only ever changes *partitioning*, never results: the sharded
+    reduce takes a lexicographic minimum over shard bests, which is
+    independent of where the shard boundaries fall (pinned by the
+    determinism suite across shard counts).  Recommendations are clamped
+    to ``[parallelism, total // MIN_SHARD_CONFIGS]`` so every worker has
+    work and no shard drops below the setup floor.
+
+    Thread safety: mutation and reads are lock-guarded -- the advisory
+    engine shares one sizer across concurrent request threads.
+    """
+
+    def __init__(
+        self,
+        target_seconds: float = TARGET_SHARD_SECONDS,
+        alpha: float = 0.4,
+    ) -> None:
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be > 0")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.target_seconds = target_seconds
+        self.alpha = alpha
+        #: plan-size bucket -> EWMA configs/second
+        self._rates: Dict[int, float] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def bucket(total_configs: int) -> int:
+        """Bucket key: the bit length of the searched config count."""
+        return max(1, total_configs).bit_length()
+
+    def observe(self, outcomes: Sequence[ShardOutcome]) -> None:
+        """Fold one finished search's shard durations into the rate.
+
+        ``sum(enumerated)`` is the searched config count (skipped
+        configurations still enumerate), so the outcomes alone identify
+        the bucket.  Sub-millisecond aggregate durations are ignored:
+        the rate estimate would be all timer noise.
+        """
+        total = sum(outcome.enumerated for outcome in outcomes)
+        seconds = sum(outcome.duration for outcome in outcomes)
+        if total <= 0 or seconds < 1e-3:
+            return
+        rate = total / seconds
+        key = self.bucket(total)
+        with self._lock:
+            previous = self._rates.get(key)
+            if previous is None:
+                self._rates[key] = rate
+            else:
+                self._rates[key] = (
+                    self.alpha * rate + (1.0 - self.alpha) * previous
+                )
+
+    def recommend(
+        self, total_configs: int, parallelism: int
+    ) -> Optional[int]:
+        """Shard count for a search of ``total_configs``, or ``None``
+        when the bucket has no observations yet (caller keeps its
+        default)."""
+        with self._lock:
+            rate = self._rates.get(self.bucket(total_configs))
+        if rate is None or total_configs <= 0:
+            return None
+        ideal = total_configs / (rate * self.target_seconds)
+        ceiling = max(parallelism, total_configs // MIN_SHARD_CONFIGS)
+        return max(parallelism, min(ceiling, int(ideal) or 1))
+
+    def snapshot_rates(self) -> Dict[int, float]:
+        """Copy of the learned per-bucket rates (introspection only)."""
+        with self._lock:
+            return dict(self._rates)
 
 
 def partition_shards(
@@ -880,6 +978,7 @@ def scan_shard(
     prefiltered = 0
     scored = 0
     updates_before = channel.updates
+    started = time.perf_counter()
     channel.refresh()
     shift, pinned = spec.shift, spec.pinned
     kernel.set_mask(subspace_mask(spec.start, shift, pinned))
@@ -924,6 +1023,7 @@ def scan_shard(
         bound_skips=bound_skips,
         bound_updates=channel.updates - updates_before,
         batch_prefiltered=prefiltered,
+        duration=time.perf_counter() - started,
     )
 
 
@@ -1051,6 +1151,7 @@ def _scan_shard_task(spec: ShardSpec) -> ShardOutcome:
         bound_updates=outcome.bound_updates,
         batch_prefiltered=outcome.batch_prefiltered,
         snapshot=snapshot,
+        duration=outcome.duration,
     )
 
 
@@ -1187,6 +1288,9 @@ def sharded_search(
     chaos: Optional[FaultPolicy] = None,
     max_retries: int = 3,
     retry_backoff: float = 0.05,
+    shard_observer: Optional[
+        Callable[[Sequence[ShardOutcome]], None]
+    ] = None,
 ) -> Tuple[_BestKey, PruningStats]:
     """Scan every plan's (capped) config space across shards; reduce.
 
@@ -1197,6 +1301,12 @@ def sharded_search(
     over the same subspace -- plus the merged :class:`PruningStats`
     (Rule-3 / estimation counters are timing-dependent under
     ``parallelism > 1``; totals and enumerated counts are not).
+
+    ``shard_observer`` (when given) receives the complete, shard-index
+    ordered outcome list after the reduce -- this is how
+    :class:`ShardSizer` learns scan rates without the search layer
+    knowing about adaptive sizing.  Observer exceptions propagate; it
+    runs after the best key is final, so it can never affect results.
     """
     plan_list = list(plans)
     if not plan_list:
@@ -1263,5 +1373,7 @@ def sharded_search(
         recorder.add("search.bound_updates", bound_updates)
         recorder.add("search.bound_skips", bound_skips)
         recorder.add("search.batch_prefiltered", batch_prefiltered)
+    if shard_observer is not None:
+        shard_observer(outcomes)
     assert best_key is not None  # every spec scans >= 1 configuration
     return best_key, pruning_stats

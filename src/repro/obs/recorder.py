@@ -25,10 +25,20 @@ Design points:
   (``jobs=4`` merges to the same totals as ``jobs=1`` for every counter
   that does not measure process-local cache state; see
   ``docs/observability.md``).
+* **Thread safety.**  All mutation (span open/close, counters, gauges,
+  merge, snapshot) is guarded by one internal lock, so concurrent
+  request threads -- the advisory service (:mod:`repro.serve`) runs many
+  at once against the single installed recorder -- never corrupt state
+  and never lose counter increments.  Span *nesting* is still a single
+  recorder-wide stack: spans opened by different threads interleave on
+  it, so concurrent span trees are best-effort (durations stay correct,
+  parentage may cross threads).  The engines' hot loops are unaffected:
+  they keep local tallies and fold them in once per region.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -96,6 +106,9 @@ PROCESS_LOCAL_COUNTER_PREFIXES: Tuple[str, ...] = (
     # rebuilds, incremental flips, functional probes) is an
     # implementation detail that differs by engine and shard layout
     "search.collapse.",
+    # advisory-service traffic accounting: hits/sheds/coalescing depend
+    # on request arrival order and cache temperature, never on results
+    "serve.",
 )
 PROCESS_LOCAL_COUNTERS: Tuple[str, ...] = (
     "campaign.retries", "campaign.serial_fallbacks",
@@ -107,15 +120,18 @@ PROCESS_LOCAL_COUNTERS: Tuple[str, ...] = (
     "search.bound_updates", "search.bound_skips",
     "search.batch_prefiltered",
     "search.paths_estimated", "search.rule3.plan_cutoffs",
+    # adaptive shard sizing reacts to observed shard *durations*
+    "search.shard_resize",
 )
 
 
 class Recorder:
     """In-process span/counter/gauge sink.
 
-    Not thread-safe by design: the instrumented engines are
-    single-threaded per process (parallelism is process-based), and the
-    pool plumbing gives every worker its own recorder.
+    Mutation is lock-guarded (see the module docstring): the search and
+    simulation engines are single-threaded per process, but the advisory
+    service serves concurrent request threads against one recorder, and
+    its counters must not lose increments under contention.
     """
 
     def __init__(self) -> None:
@@ -125,6 +141,18 @@ class Recorder:
         self.gauges: Dict[str, float] = {}
         self._stack: List[SpanRecord] = []
         self._next_id = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the (unpicklable) lock; cross-process transport stays
+        snapshot-based, this only keeps ad-hoc pickling from crashing."""
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # recording
@@ -135,42 +163,52 @@ class Recorder:
 
     def span(self, name: str, **attrs: Any) -> _SpanHandle:
         """Open a nested span; use as a context manager."""
-        parent = self._stack[-1].span_id if self._stack else None
-        record = SpanRecord(
-            span_id=self._next_id,
-            parent_id=parent,
-            name=name,
-            start=self.now(),
-            attrs=dict(attrs),
-        )
-        self._next_id += 1
-        self.spans.append(record)
-        self._stack.append(record)
+        with self._lock:
+            parent = self._stack[-1].span_id if self._stack else None
+            record = SpanRecord(
+                span_id=self._next_id,
+                parent_id=parent,
+                name=name,
+                start=self.now(),
+                attrs=dict(attrs),
+            )
+            self._next_id += 1
+            self.spans.append(record)
+            self._stack.append(record)
         return _SpanHandle(self, record)
 
     def _close_span(self, record: SpanRecord) -> None:
-        record.end = self.now()
-        # exits normally unwind innermost-first; tolerate skipped levels
-        while self._stack:
-            top = self._stack.pop()
-            if top is record:
-                break
-            if top.end is None:
-                top.end = record.end
+        with self._lock:
+            record.end = self.now()
+            # exits normally unwind innermost-first; tolerate skipped
+            # levels (and, under threads, spans another thread opened)
+            if record in self._stack:
+                while self._stack:
+                    top = self._stack.pop()
+                    if top is record:
+                        break
+                    if top.end is None:
+                        top.end = record.end
 
     def add(self, name: str, value: int = 1) -> None:
         """Increment a counter."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
         """Set a gauge (last write wins)."""
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     # ------------------------------------------------------------------
     # snapshots and merging
     # ------------------------------------------------------------------
     def snapshot(self) -> RecorderSnapshot:
         """A picklable copy of the current state (open spans included)."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> RecorderSnapshot:
         spans = tuple(
             SpanRecord(
                 span_id=s.span_id, parent_id=s.parent_id, name=s.name,
@@ -198,31 +236,32 @@ class Recorder:
         epoch -- cross-process clock skew is not corrected, which is fine
         for the worker-lifetime profiles this is used for.
         """
-        for name, value in snapshot.counters:
-            self.add(name, value)
-        for name, value in snapshot.gauges:
-            self.gauge(name, value)
-        if not snapshot.spans:
-            return
-        offset = self._next_id
-        anchor = self._stack[-1].span_id if self._stack else None
-        for span in snapshot.spans:
-            parent = (
-                span.parent_id + offset
-                if span.parent_id is not None else anchor
+        with self._lock:
+            for name, value in snapshot.counters:
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in snapshot.gauges:
+                self.gauges[name] = value
+            if not snapshot.spans:
+                return
+            offset = self._next_id
+            anchor = self._stack[-1].span_id if self._stack else None
+            for span in snapshot.spans:
+                parent = (
+                    span.parent_id + offset
+                    if span.parent_id is not None else anchor
+                )
+                self.spans.append(SpanRecord(
+                    span_id=span.span_id + offset,
+                    parent_id=parent,
+                    name=span.name,
+                    start=span.start,
+                    end=span.end if span.end is not None else span.start,
+                    attrs=dict(span.attrs),
+                    track=track if track is not None else span.track,
+                ))
+            self._next_id = offset + 1 + max(
+                span.span_id for span in snapshot.spans
             )
-            self.spans.append(SpanRecord(
-                span_id=span.span_id + offset,
-                parent_id=parent,
-                name=span.name,
-                start=span.start,
-                end=span.end if span.end is not None else span.start,
-                attrs=dict(span.attrs),
-                track=track if track is not None else span.track,
-            ))
-        self._next_id = offset + 1 + max(
-            span.span_id for span in snapshot.spans
-        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -236,9 +275,11 @@ class Recorder:
         / :data:`PROCESS_LOCAL_COUNTERS`) are excluded because their
         totals measure scheduling, not results.
         """
+        with self._lock:
+            items = sorted(self.counters.items())
         return {
             name: value
-            for name, value in sorted(self.counters.items())
+            for name, value in items
             if name not in PROCESS_LOCAL_COUNTERS
             and not name.startswith(PROCESS_LOCAL_COUNTER_PREFIXES)
         }
@@ -250,8 +291,10 @@ class Recorder:
 
     def summary(self) -> Dict[str, Any]:
         """Aggregate view: counters, gauges and per-span-name timings."""
+        with self._lock:
+            spans = list(self.spans)
         by_name: Dict[str, Dict[str, float]] = {}
-        for span in self.spans:
+        for span in spans:
             entry = by_name.setdefault(
                 span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
             )

@@ -1,0 +1,39 @@
+"""``repro.serve`` -- the long-running advisory service.
+
+The optimizer core answers "which intermediates should this job
+materialize?" once per call; this package amortizes that answer across
+requests so it can be served fleet-wide: log-bucketed stats
+canonicalization (:mod:`~repro.serve.bucketing`), an LRU advice cache
+(:mod:`~repro.serve.cache`), single-flight request coalescing with a
+bounded backpressure queue (:mod:`~repro.serve.engine`), and a
+stdlib-only HTTP/JSON frontend (:mod:`~repro.serve.app`; started with
+``python -m repro serve``).  Advice from any path is bit-identical to a
+direct :func:`~repro.core.enumeration.find_best_ft_plan` call on the
+canonicalized stats.  See ``docs/serve.md``.
+"""
+
+from .bucketing import (
+    StatsBucketing,
+    log_bucket_index,
+    log_bucket_representative,
+)
+from .cache import AdviceCache
+from .engine import (
+    SCHEME_NAMES,
+    Advice,
+    AdvisoryEngine,
+    ServiceOverloaded,
+    direct_advice,
+)
+
+__all__ = [
+    "Advice",
+    "AdviceCache",
+    "AdvisoryEngine",
+    "SCHEME_NAMES",
+    "ServiceOverloaded",
+    "StatsBucketing",
+    "direct_advice",
+    "log_bucket_index",
+    "log_bucket_representative",
+]

@@ -1,0 +1,109 @@
+"""Log-spaced cluster-statistics bucketing for the advice cache.
+
+Advisory requests arrive with *measured* cluster statistics -- an MTBF
+estimated from the last observation window, an MTTR averaged over recent
+repairs -- so two requests for the same plan almost never carry
+bit-equal :class:`~repro.core.cost_model.ClusterStats`.  Caching on the
+raw stats would miss nearly always.  Caching on a rounded value would be
+wrong: the advice must stay *exactly* reproducible by a direct search.
+
+The resolution is canonicalize-then-search: a request's stats are
+snapped to the representative of their log-spaced bucket *before* the
+search runs, so the advice returned (cached or freshly computed) is
+bit-identical to ``find_best_ft_plan(plan, canonical_stats, ...)`` by
+construction -- the cache never changes what is computed, only whether
+the computation is repeated.  Near-identical clusters (an MTBF of 86400s
+vs 86700s) share a bucket and therefore a cache entry.
+
+Bucket geometry: ``resolution`` buckets per decade, uniform in
+``log10``.  MTBF is bucketed directly; MTTR is bucketed via the
+*ratio* ``mttr / mtbf`` (the cost model's failure math is driven by the
+relative repair cost, and bucketing the ratio keeps the two snapped
+values consistent with each other).  ``mttr == 0`` is its own bucket --
+the paper's no-repair-delay configuration must round-trip exactly.  The
+remaining fields (``nodes``, ``const_cost``, ``const_pipe``,
+``success_percentile``, ``scale_mtbf_by_nodes``) are discrete knobs
+with a handful of values in practice; they pass through untouched.
+
+Boundary determinism: a bucket index is ``floor(log10(x) * resolution)``
+-- a pure function of the input float, so the same value always lands in
+the same bucket and values on opposite sides of a boundary land in
+adjacent buckets.  No randomization, no state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from ..core.cost_model import ClusterStats
+
+
+def log_bucket_index(value: float, resolution: int) -> int:
+    """The log-spaced bucket a positive value falls in.
+
+    Bucket ``i`` covers ``[10^(i/resolution), 10^((i+1)/resolution))``.
+    """
+    if value <= 0:
+        raise ValueError("log bucketing needs a positive value")
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+    return math.floor(math.log10(value) * resolution)
+
+
+def log_bucket_representative(index: int, resolution: int) -> float:
+    """The canonical value of bucket ``index`` (its geometric midpoint)."""
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+    return 10.0 ** ((index + 0.5) / resolution)
+
+
+@dataclass(frozen=True)
+class StatsBucketing:
+    """Knobs for snapping :class:`ClusterStats` to cache-key canonicals.
+
+    ``mtbf_resolution`` / ``ratio_resolution`` are buckets per decade for
+    the MTBF and the MTTR/MTBF ratio.  The defaults (8 per decade, about
+    a 1.33x width per bucket) keep the snapped MTBF within +/-15 % of the
+    measured one -- well inside the estimation error of any real MTBF
+    observation window -- while collapsing continuously-drifting
+    measurements onto a small set of canonical cluster profiles.
+    """
+
+    mtbf_resolution: int = 8
+    ratio_resolution: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mtbf_resolution < 1:
+            raise ValueError("mtbf_resolution must be >= 1")
+        if self.ratio_resolution < 1:
+            raise ValueError("ratio_resolution must be >= 1")
+
+    def canonical_mtbf(self, mtbf: float) -> float:
+        return log_bucket_representative(
+            log_bucket_index(mtbf, self.mtbf_resolution),
+            self.mtbf_resolution,
+        )
+
+    def canonical_mttr(self, mttr: float, canonical_mtbf: float,
+                       mtbf: float) -> float:
+        if mttr <= 0.0:  # exact-zero repair delay is its own bucket
+            return 0.0
+        ratio = log_bucket_representative(
+            log_bucket_index(mttr / mtbf, self.ratio_resolution),
+            self.ratio_resolution,
+        )
+        return ratio * canonical_mtbf
+
+    def canonicalize(self, stats: ClusterStats) -> ClusterStats:
+        """The bucket-representative stats a request is answered for.
+
+        Idempotent in the bucket: every stats object inside a bucket
+        maps to the same canonical object, and canonicalizing a
+        canonical object lands back in its own bucket's representative
+        family -- so cache keys built on the result are stable.
+        """
+        mtbf = self.canonical_mtbf(stats.mtbf)
+        mttr = self.canonical_mttr(stats.mttr, mtbf, stats.mtbf)
+        return dataclasses.replace(stats, mtbf=mtbf, mttr=mttr)

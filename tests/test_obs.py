@@ -233,3 +233,105 @@ class TestModuleFacade:
             obs.write_chrome_trace(str(path))
         trace = json.loads(path.read_text())
         assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+class TestRecorderThreadSafety:
+    """The advisory service mutates one Recorder from many threads."""
+
+    def test_concurrent_counter_hammer_loses_no_increments(self):
+        import threading
+
+        recorder = Recorder()
+        threads_n, per_thread = 8, 2000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(index: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                recorder.add("shared", 1)
+                recorder.add(f"private.{index}", 2)
+                recorder.gauge("level", float(i))
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.counters["shared"] == threads_n * per_thread
+        for index in range(threads_n):
+            assert recorder.counters[f"private.{index}"] == 2 * per_thread
+        assert recorder.gauges["level"] == float(per_thread - 1)
+
+    def test_concurrent_spans_all_close(self):
+        import threading
+
+        recorder = Recorder()
+        threads_n, per_thread = 6, 200
+        barrier = threading.Barrier(threads_n)
+        errors = []
+
+        def nest(index: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    with recorder.span(f"outer.{index}", i=i):
+                        with recorder.span(f"inner.{index}"):
+                            recorder.add("spanned")
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=nest, args=(index,))
+            for index in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        spans = recorder.snapshot().spans
+        assert len(spans) == threads_n * per_thread * 2
+        assert all(span.end is not None for span in spans)
+        assert recorder.counters["spanned"] == threads_n * per_thread
+
+    def test_snapshot_during_mutation_is_consistent(self):
+        import threading
+
+        recorder = Recorder()
+        done = threading.Event()
+        errors = []
+
+        def mutate() -> None:
+            try:
+                for i in range(500):
+                    recorder.add("m")
+                    recorder.gauge("g", float(i))
+                    with recorder.span("s"):
+                        pass
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        def observe() -> None:
+            try:
+                while not done.is_set():
+                    snap = recorder.snapshot()
+                    # a snapshot must pickle (shipped across the pool)
+                    pickle.loads(pickle.dumps(snap))
+                    recorder.summary()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        writers = [threading.Thread(target=mutate) for _ in range(3)]
+        reader = threading.Thread(target=observe)
+        reader.start()
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        done.set()
+        reader.join()
+        assert not errors
+        assert recorder.counters["m"] == 3 * 500

@@ -264,3 +264,83 @@ class TestDominantPathMemoIntrospection:
                   + counters.get("search.rule3.memo_misses", 0))
         assert checks > 0
         assert counters.get("search.rule3.memo_records", 0) > 0
+
+
+class TestSearchContextPickle:
+    """Slim pickling: contexts travel to pool workers cheaply and
+    resume bit-identically (PR 8's shareable-SearchContext contract)."""
+
+    @staticmethod
+    def _deep_chain():
+        from repro.core.plan import Operator, Plan
+
+        operators = [
+            Operator(op_id, f"op{op_id}", 1.0 + 0.25 * op_id,
+                     0.5 + 0.125 * op_id)
+            for op_id in range(1, 10)
+        ] + [Operator(10, "sink", 1.0, 0.0, materialize=True,
+                      free=False)]
+        edges = [(op_id, op_id + 1) for op_id in range(1, 10)]
+        return Plan.from_edges(operators, edges)
+
+    def test_round_trip_resumes_bit_identical(
+        self, paper_plan, stats_hour
+    ):
+        import pickle
+
+        ctx = SearchContext(paper_plan, stats_hour)
+        masks = list(ctx.iter_masks())
+        # park the original mid-scan, with warmed caches
+        for mask in masks[: len(masks) // 2]:
+            ctx.set_mask(mask)
+            ctx.dominant_scores()
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert type(clone) is SearchContext
+        assert clone.mask == ctx.mask
+        for mask in masks:
+            ctx.set_mask(mask)
+            clone.set_mask(mask)
+            assert clone.dominant_scores() == ctx.dominant_scores()
+            assert clone.config_for(mask) == ctx.config_for(mask)
+
+    @pytest.mark.parametrize("exact_waste", [False, True])
+    def test_shard_kernel_round_trip_preserves_type(
+        self, paper_plan, stats_hour, exact_waste
+    ):
+        import pickle
+
+        from repro.core.shard import ShardKernel
+
+        kernel = ShardKernel(paper_plan, stats_hour,
+                             exact_waste=exact_waste)
+        masks = list(kernel.iter_masks())
+        for mask in masks[:5]:
+            kernel.set_mask(mask)
+            kernel.dominant_scores()
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert type(clone) is ShardKernel
+        assert clone.exact_waste is exact_waste
+        for mask in masks:
+            kernel.set_mask(mask)
+            clone.set_mask(mask)
+            assert clone.dominant_scores() == kernel.dominant_scores()
+
+    def test_slim_payload_beats_naive_by_5x(self, stats_hour):
+        import pickle
+
+        plan = self._deep_chain()
+        ctx = SearchContext(plan, stats_hour)
+        for mask in ctx.iter_masks():
+            ctx.set_mask(mask)
+            ctx.dominant_scores()
+        slim = len(pickle.dumps(ctx))
+        # the naive payload a __dict__ pickle would ship: every derived
+        # cache the full sweep just populated
+        naive = len(pickle.dumps(dict(vars(ctx))))
+        assert naive >= 5 * slim, (naive, slim)
+
+    def test_getstate_carries_only_inputs(self, paper_plan, stats_hour):
+        ctx = SearchContext(paper_plan, stats_hour, exact_waste=True)
+        state = ctx.__getstate__()
+        assert set(state) == {"plan", "stats", "exact_waste", "mask"}
+        assert state["exact_waste"] is True
