@@ -58,6 +58,7 @@ from .experiments import (
     fig11_mtbf,
     fig12_accuracy,
     fig13_pruning,
+    multitenant,
     robustness,
     tab2_example,
     tab3_robustness,
@@ -89,6 +90,9 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable, str]] = {
     "cardval": (cardinality_validation.run,
                 cardinality_validation.format_table,
                 "cardinality model vs measured execution"),
+    "multitenant": (multitenant.run, multitenant.format_table,
+                    "multi-tenant shared-cluster workload "
+                    "(advisory-driven, priority admission)"),
 }
 
 #: experiment id -> kwargs for ``--quick`` (filtered by run() signature,
@@ -104,6 +108,8 @@ QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "tab3": {"scale_factor": 10.0},
     "robustness": {"query": "Q3", "scale_factor": 10.0, "trace_count": 2},
     "cardval": {"scale_factors": (0.002,)},
+    "multitenant": {"queries": 300, "trace_count": 2,
+                    "templates_per_class": 3},
 }
 
 _DURATION_UNITS = {
@@ -244,6 +250,43 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--seed", type=int, default=7)
     _add_jobs_argument(workload)
     _add_obs_arguments(workload)
+
+    workload_mt = sub.add_parser(
+        "workload-mt",
+        help="multi-tenant cluster: thousands of advisory-driven "
+             "queries on one shared simulated cluster",
+    )
+    workload_mt.add_argument("--tenants", type=int, default=3,
+                             help="priority classes from the default "
+                                  "mix, highest first (default 3)")
+    workload_mt.add_argument("--queries", type=int, default=2000,
+                             help="arrivals to simulate (default 2000)")
+    workload_mt.add_argument("--churn", type=float, default=0.5,
+                             help="spot-fleet reclaim intensity in "
+                                  "[0, 1], unseen by the optimizer "
+                                  "(default 0.5)")
+    workload_mt.add_argument("--base-mtbf", type=parse_duration,
+                             default="1h",
+                             help="per-node MTBF before the diurnal "
+                                  "cycle scales it (default 1h)")
+    workload_mt.add_argument("--slots", type=int, default=8,
+                             help="concurrent query slots of the "
+                                  "admission queue (default 8)")
+    workload_mt.add_argument("--nodes", type=int, default=10,
+                             help="cluster size (default 10)")
+    workload_mt.add_argument("--seed", type=int, default=0,
+                             help="workload + trace seed (default 0)")
+    workload_mt.add_argument("--chaos-seed", type=int, default=0,
+                             help="spot-churn injection seed "
+                                  "(default 0)")
+    workload_mt.add_argument("--traces", type=int, default=3,
+                             help="failure traces per measurement "
+                                  "(default 3)")
+    workload_mt.add_argument("--quick", action="store_true",
+                             help="shrink the workload for a fast "
+                                  "smoke run (300 queries, 2 traces)")
+    _add_jobs_argument(workload_mt)
+    _add_obs_arguments(workload_mt)
 
     replay = sub.add_parser(
         "replay",
@@ -464,6 +507,8 @@ def _dispatch(args) -> int:
         return _run_chaos(args)
     if args.command == "workload":
         return _run_workload(args)
+    if args.command == "workload-mt":
+        return _run_workload_mt(args)
     if args.command == "replay":
         return _run_replay(args)
     if args.command == "estimate-mtbf":
@@ -730,6 +775,46 @@ def _run_workload(args) -> int:
                key=lambda run: run.makespan)
     print(f"\nshortest makespan: {best.scheme}")
     return 0
+
+
+def _run_workload_mt(args) -> int:
+    if args.nodes < 1 or args.queries < 1 or args.slots < 1:
+        print("error: --nodes, --queries and --slots must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.churn <= 1.0:
+        print("error: --churn must be within [0, 1]", file=sys.stderr)
+        return 2
+    if not 1 <= args.tenants <= 3:
+        print("error: --tenants must be within [1, 3]", file=sys.stderr)
+        return 2
+    queries = args.queries
+    traces = args.traces
+    templates_per_class = 4
+    if args.quick:
+        queries = min(queries, 300)
+        traces = min(traces, 2)
+        templates_per_class = 3
+    with obs.span("workload-mt", queries=queries, churn=args.churn,
+                  jobs=args.jobs):
+        result = multitenant.run(
+            queries=queries,
+            tenants=args.tenants,
+            churn=args.churn,
+            base_mtbf=args.base_mtbf,
+            nodes=args.nodes,
+            slots=args.slots,
+            seed=args.seed,
+            chaos_seed=args.chaos_seed,
+            trace_count=traces,
+            templates_per_class=templates_per_class,
+            jobs=args.jobs,
+        )
+    print(multitenant.format_table(result))
+    return 0 if result.error_rows == 0 else 1
 
 
 def _run_replay(args) -> int:

@@ -1,0 +1,97 @@
+"""Multi-tenant cluster experiment: the shared-cluster scenario, end to end.
+
+Thousands of queries from priority-tenant classes hit one simulated
+cluster through the advisory service.  The experiment is a thin,
+registry-shaped wrapper over :mod:`repro.workload.simulate` -- it maps
+friendly knobs onto a :class:`~repro.workload.MultiTenantConfig`, runs
+the simulation, and renders the per-class table (aggregate FT overhead,
+tail latency, queue wait, chosen-vs-oracle regret) plus the advice-cache
+economics.  See ``docs/workload.md`` for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..workload import (
+    MultiTenantConfig,
+    MultiTenantResult,
+    default_tenant_mix,
+    run_multitenant,
+)
+
+
+def run(
+    queries: int = 2000,
+    tenants: int = 3,
+    churn: float = 0.5,
+    base_mtbf: float = 3600.0,
+    nodes: int = 10,
+    slots: int = 8,
+    seed: int = 0,
+    chaos_seed: int = 0,
+    trace_count: int = 3,
+    templates_per_class: int = 4,
+    jobs: int = 1,
+) -> MultiTenantResult:
+    """One multi-tenant day on a shared cluster.
+
+    ``tenants`` selects the first N default priority classes
+    (interactive > reporting > batch); ``churn`` in [0, 1] is the
+    spot-fleet reclaim intensity the optimizer never sees.  ``jobs``
+    fans the measurement campaign out; results are bit-identical to
+    ``jobs=1``.
+    """
+    config = MultiTenantConfig(
+        queries=queries,
+        tenant_classes=default_tenant_mix(tenants),
+        churn=churn,
+        base_mtbf=base_mtbf,
+        nodes=nodes,
+        slots=slots,
+        seed=seed,
+        chaos_seed=chaos_seed,
+        trace_count=trace_count,
+        templates_per_class=templates_per_class,
+    )
+    return run_multitenant(config, jobs=jobs)
+
+
+def format_table(result: MultiTenantResult) -> str:
+    """Per-class metrics plus advice-cache and campaign health lines."""
+    lines: List[str] = []
+    config = result.config
+    lines.append(
+        f"{config.queries} queries, "
+        f"{len(config.tenant_classes)} tenant classes, "
+        f"{config.nodes} nodes / {config.slots} slots, "
+        f"churn {config.churn:g}, base MTBF {config.base_mtbf:g}s"
+    )
+    advice = result.advice
+    lines.append(
+        f"advice cache: {advice.requests} requests, "
+        f"{advice.hits} hits / {advice.misses} misses "
+        f"(hit rate {advice.hit_rate:.1%}), "
+        f"{advice.searches} searches, {len(result.groups)} groups"
+    )
+    header = (f"{'class':<14s} {'prio':>4s} {'queries':>7s} "
+              f"{'overhead':>9s} {'p50 lat':>10s} {'p99 lat':>10s} "
+              f"{'mean wait':>10s} {'p99 wait':>10s} {'regret':>7s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for metrics in result.classes:
+        lines.append(
+            f"{metrics.name:<14s} {metrics.priority:>4d} "
+            f"{metrics.queries:>7d} "
+            f"{metrics.overhead_percent:>8.1f}% "
+            f"{metrics.latency_p50:>9.1f}s {metrics.latency_p99:>9.1f}s "
+            f"{metrics.wait_mean:>9.1f}s {metrics.wait_p99:>9.1f}s "
+            f"{metrics.regret:>6.3f}x"
+        )
+    lines.append(
+        f"totals: {result.error_rows} error rows, "
+        f"{result.failed_queries} failed queries, "
+        f"{result.aborted_runs} aborted runs, "
+        f"makespan {result.makespan:.0f}s"
+    )
+    return "\n".join(lines)

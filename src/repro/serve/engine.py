@@ -352,6 +352,13 @@ class AdvisoryEngine:
     # ------------------------------------------------------------------
     # the bounded-queue frontend
     # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the bounded-queue frontend is running (clients that
+        can fall back to :meth:`advise` check this, not ``_queue``)."""
+        with self._lock:
+            return self._queue is not None
+
     def start(self, workers: int = 4, max_queue: int = 64) -> None:
         """Spawn the worker threads that drain the request queue."""
         if workers < 1:

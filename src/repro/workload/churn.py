@@ -1,0 +1,115 @@
+"""Cluster weather: diurnal MTBF cycles and spot-fleet node churn.
+
+Two environmental effects separate a shared production cluster from the
+paper's steady single-query setup:
+
+* **Diurnal MTBF cycles.**  Failure rates track the day: thermal load,
+  deploy windows and co-tenant pressure make daytime MTBF measurably
+  worse than the quiet night.  Tenants *see* this -- the stats attached
+  to an advisory request are whatever the current monitoring window
+  measured -- so the advice cache naturally partitions into a few
+  canonical per-phase cluster profiles.
+* **Spot-fleet churn.**  Preemptible instances vanish in correlated
+  groups (capacity reclaims hit whole racks), on top of the base
+  failure process and *unseen* by the optimizer -- the regime
+  ``examples/spot_fleet.py`` sketches, expressed here as a
+  :class:`~repro.chaos.FaultPolicy` so the campaign layer injects it
+  into every simulated run.  The churn knob maps onto burst *intensity*
+  (thinning), which the chaos layer guarantees is metamorphic: for a
+  fixed seed, more churn only ever adds failures, so aggregate
+  fault-tolerance overhead is non-decreasing in churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..chaos import CorrelatedFailures, FaultPolicy
+
+#: burst gap = base MTBF / this factor (the chaos preset's regime)
+SPOT_BURST_DIVISOR = 2.0
+#: nodes reclaimed together by one spot capacity event
+SPOT_RACK_SIZE = 3
+#: mean per-node delay within a reclaim burst, seconds
+SPOT_JITTER = 2.0
+
+
+@dataclass(frozen=True)
+class DiurnalCycle:
+    """A day of cluster weather, discretized into equal phases.
+
+    ``mtbf_multipliers[i]`` scales the base per-node MTBF during phase
+    ``i`` (values < 1 mean the cluster fails *more* often);
+    ``arrival_intensities[i]`` scales tenant traffic in the same phase.
+    The defaults model a quiet night, a normal morning, a stressed
+    afternoon peak, and a normal evening.
+    """
+
+    period: float = 86400.0
+    mtbf_multipliers: Tuple[float, ...] = (1.5, 1.0, 0.6, 1.0)
+    arrival_intensities: Tuple[float, ...] = (0.3, 1.0, 1.8, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be > 0")
+        if not self.mtbf_multipliers:
+            raise ValueError("need at least one phase")
+        if len(self.arrival_intensities) != len(self.mtbf_multipliers):
+            raise ValueError("one arrival intensity per MTBF phase")
+        if any(m <= 0 for m in self.mtbf_multipliers):
+            raise ValueError("mtbf multipliers must be > 0")
+        if any(a <= 0 for a in self.arrival_intensities):
+            raise ValueError("arrival intensities must be > 0")
+
+    @property
+    def phases(self) -> int:
+        return len(self.mtbf_multipliers)
+
+    def phase_index(self, time: float) -> int:
+        """The phase covering wall-clock ``time`` (period-wrapped)."""
+        position = (time % self.period) / self.period
+        return min(self.phases - 1, int(position * self.phases))
+
+    def phase_mtbf(self, base_mtbf: float, phase: int) -> float:
+        """Per-node MTBF during ``phase`` of the cycle."""
+        if base_mtbf <= 0:
+            raise ValueError("base_mtbf must be > 0")
+        return base_mtbf * self.mtbf_multipliers[phase]
+
+    def mtbf_at(self, base_mtbf: float, time: float) -> float:
+        return self.phase_mtbf(base_mtbf, self.phase_index(time))
+
+    def arrival_intensity(self, time: float) -> float:
+        return self.arrival_intensities[self.phase_index(time)]
+
+
+def spot_fleet_policy(
+    churn: float, base_mtbf: float, seed: int = 0,
+) -> Optional[FaultPolicy]:
+    """The fault policy realizing spot churn at level ``churn`` in [0, 1].
+
+    ``churn`` is the probability a reclaim opportunity fires (burst
+    thinning intensity); opportunities arrive with a mean gap of
+    ``base_mtbf / 2`` cluster-wide, each reclaiming a rack of
+    :data:`SPOT_RACK_SIZE` nodes.  ``churn = 0`` returns ``None`` --
+    no policy at all, pinned bit-identical to the chaos-free campaign.
+    Monotonicity in ``churn`` is inherited from the chaos layer's
+    intensity thinning (same seed, higher intensity = superset of
+    failures).
+    """
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError("churn must be within [0, 1]")
+    if base_mtbf <= 0:
+        raise ValueError("base_mtbf must be > 0")
+    if churn <= 0.0:
+        return None
+    return FaultPolicy(
+        seed=seed,
+        correlated=CorrelatedFailures(
+            burst_mtbf=base_mtbf / SPOT_BURST_DIVISOR,
+            intensity=churn,
+            rack_size=SPOT_RACK_SIZE,
+            jitter=SPOT_JITTER,
+        ),
+    )

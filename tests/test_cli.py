@@ -34,7 +34,7 @@ class TestParser:
     def test_experiment_registry_covers_every_paper_artifact(self):
         assert set(EXPERIMENTS) == {
             "fig1", "tab2", "fig8", "fig10", "fig11", "fig12", "tab3",
-            "fig13", "cardval", "robustness",
+            "fig13", "cardval", "robustness", "multitenant",
         }
 
 
@@ -98,6 +98,28 @@ class TestWorkloadCommand:
 
     def test_invalid_queries(self, capsys):
         assert main(["workload", "--queries", "0"]) == 2
+
+
+class TestWorkloadMtCommand:
+    def test_quick_run_reports_classes_and_cache(self, capsys):
+        assert main([
+            "workload-mt", "--quick", "--queries", "120",
+            "--traces", "2", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "advice cache" in out
+        assert "interactive" in out
+        assert "batch" in out
+        assert "0 error rows" in out
+
+    def test_rejects_invalid_churn(self, capsys):
+        assert main(["workload-mt", "--churn", "1.5"]) == 2
+
+    def test_rejects_invalid_tenants(self, capsys):
+        assert main(["workload-mt", "--tenants", "7"]) == 2
+
+    def test_rejects_invalid_slots(self, capsys):
+        assert main(["workload-mt", "--slots", "0"]) == 2
 
 
 class TestEstimateMtbfCommand:

@@ -198,3 +198,17 @@ class TestGoldenExperiments:
             ],
         }
         _check(request, "robustness_small", payload)
+
+    def test_multitenant_small_grid(self, request):
+        from repro.experiments import multitenant
+
+        result = multitenant.run(
+            queries=60, trace_count=2, templates_per_class=2,
+        )
+        # sanity invariants first, so a drifted pin fails with a
+        # readable cause instead of a wall of JSON
+        assert result.error_rows == 0
+        assert result.advice.hit_rate >= 0.5
+        assert all(group.regret >= 1.0 - 1e-12
+                   for group in result.groups)
+        _check(request, "multitenant_small", result.to_payload())

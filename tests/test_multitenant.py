@@ -1,0 +1,367 @@
+"""Tests for the multi-tenant shared-cluster workload (PR 9).
+
+Four batteries:
+
+* **Determinism** -- ``jobs=N`` bit-identical to ``jobs=1`` for the
+  full result (rows, per-class metrics, admission log); same seed, same
+  result; a zero-churn run's measurement rows byte-identical to a plain
+  :func:`~repro.engine.campaign.run_campaign` over the prepared cells.
+* **Advisory resilience** -- a cell whose plan choice sheds with
+  :class:`~repro.serve.ServiceOverloaded` through the advisory path
+  surfaces as a :class:`~repro.engine.campaign.CellResult` *error row*
+  carrying the retry count (never an exception), and the retries are
+  counted on ``workload.advice_retries``.
+* **Metamorphic** -- with a fixed seed, higher spot churn never lowers
+  any class's aggregate FT overhead (the chaos layer's superset
+  guarantee composed through the whole pipeline); the priority admission
+  queue never inverts (no query is admitted while a strictly
+  higher-priority query is waiting) and never starves the top class.
+* **Serve cache under mixed-tenant load** -- hammer the bounded-queue
+  frontend with concurrent tenants and check the hit/miss/eviction
+  counters stay consistent; two tenants submitting the *same canonical*
+  request (different raw jitter) coalesce onto one search.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core.cost_model import ClusterStats
+from repro.engine.campaign import CampaignCell, run_campaign
+from repro.engine.cluster import Cluster
+from repro.serve import AdvisoryEngine, ServiceOverloaded
+from repro.workload import (
+    AdvisedCostBased,
+    DiurnalCycle,
+    MultiTenantConfig,
+    generate_tenant_workload,
+    prepare,
+    resolve_advice,
+    run_multitenant,
+    spot_fleet_policy,
+)
+
+
+def small_config(**overrides) -> MultiTenantConfig:
+    """A fast-but-representative grid (~25 groups, 3 classes)."""
+    base = dict(
+        queries=150,
+        trace_count=2,
+        templates_per_class=2,
+        seed=5,
+    )
+    base.update(overrides)
+    return MultiTenantConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_jobs4_bit_identical_to_jobs1(self):
+        config = small_config()
+        serial = run_multitenant(config, jobs=1)
+        fanned = run_multitenant(config, jobs=4)
+        assert serial == fanned
+        assert serial.to_payload() == fanned.to_payload()
+
+    def test_same_seed_reproducible(self):
+        config = small_config()
+        first = run_multitenant(config)
+        second = run_multitenant(config)
+        assert first == second
+        reseeded = run_multitenant(small_config(seed=6))
+        assert reseeded.to_payload() != first.to_payload()
+
+    def test_zero_churn_rows_match_plain_campaign(self):
+        config = small_config(churn=0.0)
+        prepared = prepare(config)
+        assert prepared.policy is None
+        plain = run_campaign(list(prepared.cells), prepared.cluster)
+        result = run_multitenant(config)
+        assert result.rows == tuple(plain)
+
+    def test_spot_policy_off_at_zero_churn(self):
+        assert spot_fleet_policy(0.0, 3600.0) is None
+        policy = spot_fleet_policy(0.7, 3600.0, seed=3)
+        assert policy is not None
+        assert policy.correlated.intensity == 0.7
+        with pytest.raises(ValueError):
+            spot_fleet_policy(1.5, 3600.0)
+
+    def test_workload_generation_reproducible(self):
+        first = generate_tenant_workload(count=80, seed=9)
+        second = generate_tenant_workload(count=80, seed=9)
+        assert first == second
+        assert generate_tenant_workload(count=80, seed=10) != first
+        times = [arrival.time for arrival in first.arrivals]
+        assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# advisory resilience (sheds become error rows, not exceptions)
+# ----------------------------------------------------------------------
+def _blocked_engine(monkeypatch):
+    """A started engine whose worker is stuck and whose queue is full.
+
+    Every further submission sheds with :class:`ServiceOverloaded`
+    until ``release`` is set.
+    """
+    engine = AdvisoryEngine(cache_size=64)
+    started = threading.Event()
+    release = threading.Event()
+    original = AdvisoryEngine._compute
+
+    def blocking_compute(self, plan, canonical, scheme):
+        started.set()
+        release.wait(30.0)
+        return original(self, plan, canonical, scheme)
+
+    monkeypatch.setattr(AdvisoryEngine, "_compute", blocking_compute)
+    engine.start(workers=1, max_queue=1)
+    return engine, started, release
+
+
+class TestAdvisoryErrorRows:
+    def test_shed_surfaces_as_error_row_with_retry_count(
+        self, paper_plan, monkeypatch
+    ):
+        engine, started, release = _blocked_engine(monkeypatch)
+        stats = ClusterStats(mtbf=3600.0, mttr=1.0, nodes=4)
+        try:
+            first = engine.submit(paper_plan, stats)
+            assert started.wait(10.0)   # worker busy on request 1
+            second = engine.submit(paper_plan, stats,
+                                    scheme="all-mat")  # queue now full
+            cell = CampaignCell(
+                label="overloaded",
+                plan=paper_plan,
+                mtbf=3600.0,
+                schemes=(AdvisedCostBased(engine, max_retries=2,
+                                          retry_backoff=0.0),),
+                trace_count=2,
+            )
+            with obs.recording() as recorder:
+                rows = run_campaign(
+                    [cell], Cluster(nodes=4), preflight_lint=False,
+                )
+            assert len(rows) == 1
+            row = rows[0]
+            assert row.error is not None, (
+                "a shed advisory request must surface as an error row"
+            )
+            assert "ServiceOverloaded" in row.error
+            assert "after 2 retries" in row.error
+            assert row.runtimes == ()
+            assert row.mean_runtime == float("inf")
+            assert recorder.counters["workload.advice_retries"] == 2
+        finally:
+            release.set()
+            first.result(timeout=30.0)
+            second.result(timeout=30.0)
+            engine.stop()
+
+    def test_resolve_advice_uses_direct_path_when_not_started(
+        self, paper_plan
+    ):
+        engine = AdvisoryEngine(cache_size=64)
+        stats = ClusterStats(mtbf=3600.0, mttr=1.0, nodes=4)
+        with obs.recording() as recorder:
+            advice = resolve_advice(engine, paper_plan, stats)
+        assert advice == engine.advise(paper_plan, stats)
+        assert "workload.advice_retries" not in recorder.counters
+
+    def test_resolve_advice_validates_budget(self, paper_plan):
+        engine = AdvisoryEngine(cache_size=64)
+        stats = ClusterStats(mtbf=3600.0, mttr=1.0, nodes=4)
+        with pytest.raises(ValueError):
+            resolve_advice(engine, paper_plan, stats, max_retries=-1)
+        with pytest.raises(ValueError):
+            resolve_advice(engine, paper_plan, stats,
+                           retry_backoff=-0.1)
+
+
+# ----------------------------------------------------------------------
+# metamorphic properties
+# ----------------------------------------------------------------------
+class TestMetamorphic:
+    def test_higher_churn_never_lowers_overhead(self):
+        low = run_multitenant(small_config(churn=0.2))
+        high = run_multitenant(small_config(churn=0.8))
+        # the monotonicity argument needs the per-trace pairing intact:
+        # an aborted run would drop entries from a runtimes tuple and
+        # shift which trace each arrival replays
+        assert low.aborted_runs == 0
+        assert high.aborted_runs == 0
+        assert low.error_rows == 0 and high.error_rows == 0
+        for low_row, high_row in zip(low.rows, high.rows):
+            for lo, hi in zip(low_row.runtimes, high_row.runtimes):
+                assert hi >= lo - 1e-9
+        for low_cls, high_cls in zip(low.classes, high.classes):
+            assert high_cls.overhead_percent \
+                >= low_cls.overhead_percent - 1e-9
+
+    def test_priority_never_inverted_and_top_class_not_starved(self):
+        config = small_config(slots=2, duration=28800.0)
+        result = run_multitenant(config)
+        records = result.admissions
+        assert any(record.wait > 0 for record in records), (
+            "contended grid expected; shrink slots/duration"
+        )
+        for record in records:
+            assert record.admitted >= record.arrival
+            assert record.finished >= record.admitted
+        # no inversion: nobody is admitted while a strictly
+        # higher-priority query that arrived earlier is still waiting
+        for record in records:
+            for other in records:
+                if other.priority < record.priority:
+                    assert not (other.arrival < record.admitted
+                                and other.admitted > record.admitted), (
+                        f"priority inversion: query {record.index} "
+                        f"(prio {record.priority}) admitted at "
+                        f"{record.admitted} while query {other.index} "
+                        f"(prio {other.priority}) was waiting"
+                    )
+        by_priority = {cls.priority: cls for cls in result.classes}
+        top = by_priority[min(by_priority)]
+        bottom = by_priority[max(by_priority)]
+        assert top.queries > 0
+        assert top.failed == 0
+        assert top.wait_mean <= bottom.wait_mean + 1e-9
+
+    def test_diurnal_cycle_phases(self):
+        cycle = DiurnalCycle()
+        assert cycle.phases == 4
+        assert cycle.phase_index(0.0) == 0
+        assert cycle.phase_index(86399.0) == 3
+        assert cycle.phase_index(86400.0) == 0  # wraps
+        assert cycle.mtbf_at(1000.0, 0.0) == 1500.0
+        day_peak = cycle.arrival_intensity(86400.0 * 0.6)
+        night = cycle.arrival_intensity(0.0)
+        assert day_peak > night
+        with pytest.raises(ValueError):
+            DiurnalCycle(mtbf_multipliers=(1.0, -1.0),
+                         arrival_intensities=(1.0, 1.0))
+
+
+# ----------------------------------------------------------------------
+# serve cache metrics under concurrent mixed-tenant load
+# ----------------------------------------------------------------------
+class TestServeCacheUnderLoad:
+    def test_hammer_counters_consistent(self):
+        workload = generate_tenant_workload(count=120, seed=3,
+                                            templates_per_class=2)
+        engine = AdvisoryEngine(cache_size=4096)
+        engine.start(workers=4, max_queue=512)
+        diurnal = DiurnalCycle()
+        requests = []
+        for arrival in workload.arrivals:
+            stats = ClusterStats(
+                mtbf=diurnal.mtbf_at(3600.0, arrival.time)
+                * arrival.mtbf_jitter,
+                mttr=1.0 * arrival.mttr_jitter,
+                nodes=10,
+            )
+            requests.append(
+                (workload.templates[arrival.template_index].plan, stats)
+            )
+        advices = [None] * len(requests)
+        errors = []
+
+        def client(indices):
+            for index in indices:
+                plan, stats = requests[index]
+                try:
+                    advices[index] = resolve_advice(engine, plan, stats)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        try:
+            with obs.recording() as recorder:
+                threads = [
+                    threading.Thread(
+                        target=client,
+                        args=(range(start, len(requests), 4),),
+                    )
+                    for start in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        finally:
+            engine.stop()
+        assert not errors
+        assert all(advice is not None for advice in advices)
+        stats_now = engine.cache.stats()
+        counters = recorder.counters
+        # every request is exactly one cache hit or one cache miss
+        assert stats_now["hits"] + stats_now["misses"] == len(requests)
+        assert counters["serve.requests"] == len(requests)
+        # every miss either ran a search or coalesced onto one
+        assert stats_now["misses"] == (
+            counters.get("serve.searches", 0)
+            + counters.get("serve.coalesced", 0)
+        )
+        # the cache was big enough: nothing evicted, one entry per
+        # distinct canonical identity
+        assert stats_now["evictions"] == 0
+        distinct = {
+            engine.advice_key(plan, engine.canonical_stats(stats),
+                              "cost-based")
+            for plan, stats in requests
+        }
+        assert stats_now["size"] == len(distinct)
+        # cached advice is shared: same canonical identity, same advice
+        by_key = {}
+        for (plan, stats), advice in zip(requests, advices):
+            key = engine.advice_key(
+                plan, engine.canonical_stats(stats), "cost-based"
+            )
+            assert by_key.setdefault(key, advice) == advice
+
+    def test_single_flight_for_identical_canonical_request(
+        self, paper_plan, monkeypatch
+    ):
+        engine = AdvisoryEngine(cache_size=64)
+        started = threading.Event()
+        release = threading.Event()
+        compute_calls = []
+        original = AdvisoryEngine._compute
+
+        def counting_compute(self, plan, canonical, scheme):
+            compute_calls.append(canonical)
+            started.set()
+            release.wait(30.0)
+            return original(self, plan, canonical, scheme)
+
+        monkeypatch.setattr(AdvisoryEngine, "_compute",
+                            counting_compute)
+        # two tenants, different raw monitoring reads, same bucket
+        stats_a = ClusterStats(mtbf=3600.0, mttr=1.0, nodes=10)
+        stats_b = ClusterStats(mtbf=3600.0 * 1.02, mttr=1.02, nodes=10)
+        assert engine.canonical_stats(stats_a) \
+            == engine.canonical_stats(stats_b)
+        engine.start(workers=2, max_queue=8)
+        try:
+            with obs.recording() as recorder:
+                first = engine.submit(paper_plan, stats_a)
+                assert started.wait(10.0)  # leader is inside the search
+                second = engine.submit(paper_plan, stats_b)
+                release.set()
+                advice_a = first.result(timeout=30.0)
+                advice_b = second.result(timeout=30.0)
+        finally:
+            release.set()
+            engine.stop()
+        assert advice_a == advice_b
+        assert len(compute_calls) == 1, (
+            "two identical canonical requests must coalesce onto one "
+            "search"
+        )
+        assert recorder.counters.get("serve.coalesced", 0) \
+            + recorder.counters.get("serve.cache.hits", 0) == 1
