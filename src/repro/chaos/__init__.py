@@ -10,7 +10,11 @@ trace/executor/campaign stack:
   durable ancestor (:class:`FlakyWrites`);
 * straggler nodes (:class:`Stragglers`);
 * campaign worker crashes with bounded retry + exponential backoff and
-  graceful degradation to serial execution (:class:`WorkerCrashes`).
+  graceful degradation to serial execution (:class:`WorkerCrashes`);
+* drifting failure rates -- stale statistics and diurnal health cycles
+  (:class:`MtbfDrift`, realized by
+  :func:`repro.engine.traces.generate_drifting_trace`) -- the regimes
+  the adaptive re-planner (:mod:`repro.engine.adaptive`) reacts to.
 
 Every injection decision is derived from seeds and structural keys, so
 ``jobs=N`` campaigns stay bit-identical to ``jobs=1`` under any policy,
@@ -26,6 +30,7 @@ from .policy import (
     CorrelatedFailures,
     FaultPolicy,
     FlakyWrites,
+    MtbfDrift,
     Stragglers,
     WorkerCrashes,
     preset,
@@ -36,6 +41,7 @@ __all__ = [
     "CorrelatedFailures",
     "FaultPolicy",
     "FlakyWrites",
+    "MtbfDrift",
     "PRESET_NAMES",
     "Stragglers",
     "WorkerCrashes",

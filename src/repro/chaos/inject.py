@@ -25,6 +25,8 @@ CRASH_STREAM = 9003
 #: tag for burst overlays in repro.engine.traces (reserved here so all
 #: chaos stream tags live in one place)
 BURST_STREAM = 9004
+#: tag for MTBF-drift thinning uniforms in repro.engine.traces
+DRIFT_STREAM = 9005
 
 
 def _uniform(*key: int) -> float:

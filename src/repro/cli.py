@@ -51,6 +51,7 @@ from .core.strategies import CostBased, standard_schemes
 from .engine.cluster import Cluster
 from .engine.coordinator import compare_schemes
 from .experiments import (
+    adaptive_drift,
     cardinality_validation,
     fig1_success,
     fig8_queries,
@@ -93,6 +94,9 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable, str]] = {
     "multitenant": (multitenant.run, multitenant.format_table,
                     "multi-tenant shared-cluster workload "
                     "(advisory-driven, priority admission)"),
+    "adaptive-drift": (adaptive_drift.run, adaptive_drift.format_table,
+                       "static vs adaptive re-planning regret under "
+                       "drift regimes"),
 }
 
 #: experiment id -> kwargs for ``--quick`` (filtered by run() signature,
@@ -110,6 +114,8 @@ QUICK_OVERRIDES: Dict[str, Dict[str, Any]] = {
     "cardval": {"scale_factors": (0.002,)},
     "multitenant": {"queries": 300, "trace_count": 2,
                     "templates_per_class": 3},
+    "adaptive-drift": {"query": "Q3", "scale_factor": 10.0,
+                       "trace_count": 2},
 }
 
 _DURATION_UNITS = {
@@ -163,6 +169,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="shrink grids/scale factors for a fast smoke run "
              "(results are not the paper's numbers)",
+    )
+    experiments.add_argument(
+        "--drift-mtbf-ratio", type=float, default=2.0, metavar="R",
+        help="adaptive-drift: trigger a re-plan when the observed MTBF "
+             "leaves [assumed/R, assumed*R]; 0 disables the MTBF "
+             "trigger (default 2.0)",
+    )
+    experiments.add_argument(
+        "--drift-runtime-ratio", type=float, default=1.5, metavar="R",
+        help="adaptive-drift: trigger when the runtime correction "
+             "leaves [1/R, R]; 0 disables the runtime trigger "
+             "(default 1.5)",
+    )
+    experiments.add_argument(
+        "--drift-confidence", type=float, default=0.95, metavar="C",
+        help="adaptive-drift: MTBF triggers additionally require the "
+             "chi-square CI at this confidence to exclude the assumed "
+             "MTBF (default 0.95)",
+    )
+    experiments.add_argument(
+        "--drift-half-life", type=float, default=None, metavar="SECONDS",
+        help="adaptive-drift: exponential forgetting of MTBF evidence "
+             "in node-seconds (default: keep all evidence)",
     )
     _add_jobs_argument(experiments)
     _add_inject_arguments(experiments)
@@ -550,6 +579,16 @@ def _run_experiments(args) -> int:
         )
         if chaos_policy is not None and "chaos" in accepted:
             kwargs["chaos"] = chaos_policy
+        if "envelope" in accepted:
+            from .engine.adaptive import DriftEnvelope
+
+            kwargs["envelope"] = DriftEnvelope(
+                mtbf_ratio=args.drift_mtbf_ratio or None,
+                runtime_ratio=args.drift_runtime_ratio or None,
+                confidence=args.drift_confidence,
+            )
+        if "half_life" in accepted and args.drift_half_life is not None:
+            kwargs["half_life"] = args.drift_half_life
         if args.quick:
             kwargs.update({
                 key: value

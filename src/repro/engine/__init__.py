@@ -6,7 +6,17 @@ replaying seeded failure traces, and measures achieved runtimes and
 overheads under each fault-tolerance scheme.
 """
 
-from .adaptive import AdaptiveExecutor, AdaptiveResult, Reconfiguration
+from .adaptive import (
+    AdaptiveCostBased,
+    AdaptiveExecutor,
+    AdaptiveResult,
+    DriftEnvelope,
+    DriftMonitor,
+    DriftTrigger,
+    Reconfiguration,
+    frontier_plan,
+    run_adaptive_with_extension,
+)
 from .campaign import CampaignCell, CellResult, campaign_map, run_campaign
 from .cluster import Cluster
 from .coordinator import (
@@ -46,8 +56,14 @@ from .traces import (
 )
 
 __all__ = [
+    "AdaptiveCostBased",
     "AdaptiveExecutor",
     "AdaptiveResult",
+    "DriftEnvelope",
+    "DriftMonitor",
+    "DriftTrigger",
+    "frontier_plan",
+    "run_adaptive_with_extension",
     "CampaignCell",
     "CellResult",
     "Cluster",

@@ -63,6 +63,7 @@ from ..core.strategies import (
     FaultToleranceScheme,
     standard_schemes,
 )
+from .adaptive import AdaptiveCostBased, run_adaptive_with_extension
 from .cluster import Cluster
 from .coordinator import (
     _default_horizon,
@@ -165,6 +166,7 @@ class CellResult:
     aborted_runs: int                     #: runs that hit the limit
     materialized_ids: Tuple[int, ...]     #: free ops the target chose
     error: Optional[str] = None           #: unit exception, if it raised
+    replans: int = 0                      #: adaptive re-plans (0 static)
 
     @property
     def mean_runtime(self) -> float:
@@ -236,15 +238,26 @@ def _measure_unit(
                 horizon = _default_horizon(baseline, cell.mtbf, cluster)
             correlated = None
             chaos_seed = 0
+            drift = None
             if chaos is not None and chaos.trace_active():
                 correlated = chaos.correlated
                 chaos_seed = chaos.seed
+                drift = chaos.mtbf_drift
             traces = cached_trace_set(
                 cluster.nodes, cell.mtbf, horizon,
                 count=cell.trace_count, base_seed=cell.base_seed,
                 correlated=correlated, chaos_seed=chaos_seed,
+                drift=drift,
             )
         target = cell.targets()[target_index]
+        if isinstance(target, AdaptiveCostBased):
+            # the adaptive scheme decides *while* simulating, so it
+            # cannot go through prepare/execute -- drive the adaptive
+            # executor per trace instead (same traces, same baseline)
+            return _measure_adaptive_unit(
+                cell, cell_index, target_index, target, engine, stats,
+                traces, baseline, recorder, unit_span,
+            )
         if isinstance(target, ConfiguredPlan):
             configured = target
         else:
@@ -300,6 +313,72 @@ def _measure_unit(
             aborted_runs=aborted,
             materialized_ids=materialized,
         )
+
+
+def _measure_adaptive_unit(
+    cell: CampaignCell,
+    cell_index: int,
+    target_index: int,
+    target: "AdaptiveCostBased",
+    engine: SimulatedEngine,
+    stats: Any,
+    traces: List[FailureTrace],
+    baseline: float,
+    recorder: Optional[obs.Recorder],
+    unit_span: Any,
+) -> CellResult:
+    """The adaptive twin of the static measurement loop.
+
+    The initial static decision is searched once per unit and shared
+    across traces (every trace starts from the same estimates); each
+    trace then runs the full drift-monitored loop.  All decisions are
+    pure functions of (cell, trace), so the row is bit-identical across
+    job counts like every other unit.
+    """
+    with obs.span("campaign.configure", cell=cell_index,
+                  target=target_index):
+        configured = target.configure(cell.plan, stats)
+    unit_span.set(scheme=configured.scheme)
+    initial_config = dict(configured.plan.mat_config())
+    executor = target.executor(engine, stats)
+    runtimes: List[float] = []
+    failures = 0
+    share_restarts = 0
+    replans = 0
+    for index, trace in enumerate(traces):
+        with obs.span("campaign.trace", cell=cell_index,
+                      target=target_index, trace=index):
+            outcome, extended = run_adaptive_with_extension(
+                executor, cell.plan, trace,
+                initial_config=initial_config,
+            )
+        if extended is not trace:
+            traces[index] = extended
+        runtimes.append(outcome.runtime)
+        failures += outcome.result.failures_hit
+        share_restarts += outcome.result.share_restarts
+        replans += outcome.replans
+    if recorder is not None:
+        recorder.add("campaign.units")
+        recorder.add("campaign.trace_runs", len(traces))
+        recorder.add("sim.failures_injected", failures)
+        recorder.add("sim.restarts.share", share_restarts)
+    materialized = tuple(
+        op_id for op_id, op in configured.plan.operators.items()
+        if op.materialize and cell.plan[op_id].free
+    )
+    return CellResult(
+        cell_index=cell_index,
+        label=cell.label,
+        scheme=configured.scheme,
+        mtbf=cell.mtbf,
+        const_pipe=cell.const_pipe,
+        baseline=baseline,
+        runtimes=tuple(runtimes),
+        aborted_runs=0,
+        materialized_ids=materialized,
+        replans=replans,
+    )
 
 
 def _measure_unit_safe(

@@ -20,8 +20,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import obs
-from ..chaos.inject import BURST_STREAM
-from ..chaos.policy import CorrelatedFailures
+from ..chaos.inject import BURST_STREAM, DRIFT_STREAM
+from ..chaos.policy import CorrelatedFailures, MtbfDrift
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,11 @@ class FailureTrace:
         Number of failure times the burst overlay added within the
         horizon (0 for plain traces); surfaced by the executor as the
         ``chaos.injected.burst_failures`` counter.
+    drift:
+        The :class:`~repro.chaos.MtbfDrift` spec the base streams were
+        thinned with (``None`` for constant-rate traces); kept, like
+        ``correlated``, so :func:`extend_trace` regenerates the same
+        process.
     """
 
     node_failures: Tuple[Tuple[float, ...], ...]
@@ -61,6 +66,7 @@ class FailureTrace:
     correlated: Optional[CorrelatedFailures] = None
     chaos_seed: int = 0
     injected: int = 0
+    drift: Optional[MtbfDrift] = None
 
     @property
     def nodes(self) -> int:
@@ -303,6 +309,33 @@ def generate_correlated_trace(
         raise ValueError("horizon must be > 0")
     base = _base_node_failures(nodes, mtbf, horizon, seed,
                                shape=spec.base_shape)
+    merged, injected = _apply_burst_overlay(
+        base, nodes, horizon, seed, spec, chaos_seed
+    )
+    return FailureTrace(
+        node_failures=merged,
+        mtbf=mtbf,
+        seed=seed,
+        horizon=horizon,
+        correlated=spec,
+        chaos_seed=chaos_seed,
+        injected=injected,
+    )
+
+
+def _apply_burst_overlay(
+    base: List[Tuple[float, ...]],
+    nodes: int,
+    horizon: float,
+    seed: int,
+    spec: CorrelatedFailures,
+    chaos_seed: int,
+) -> Tuple[Tuple[Tuple[float, ...], ...], int]:
+    """Layer ``spec``'s rack bursts on the base streams.
+
+    Factored out of :func:`generate_correlated_trace` so the drifting
+    generator composes the same overlay on thinned base streams.
+    """
     extra: Dict[int, List[float]] = {}
     injected = 0
     if spec.active:
@@ -340,14 +373,85 @@ def generate_correlated_trace(
             )
         else:
             node_failures.append(base[node])
+    return tuple(node_failures), injected
+
+
+def generate_drifting_trace(
+    nodes: int,
+    mtbf: float,
+    horizon: float,
+    seed: int,
+    drift: MtbfDrift,
+    chaos_seed: int = 0,
+    correlated: Optional[CorrelatedFailures] = None,
+) -> FailureTrace:
+    """Failure trace whose instantaneous rate follows an
+    :class:`~repro.chaos.MtbfDrift` spec (stale scale and/or diurnal
+    sinusoid), optionally with a rack-burst overlay on top.
+
+    Generation thins a homogeneous Poisson envelope: each node draws a
+    base stream at the *peak* rate ``drift.max_factor / mtbf`` (from the
+    same ``[seed, node]`` RNG keys as :func:`generate_trace`, with the
+    shrunken mean gap), then accepts arrival ``t`` iff its thinning
+    uniform satisfies ``u * max_factor < drift.rate_factor(t)``.
+    Uniforms come from one sequential stream per node keyed
+    ``[chaos_seed, seed, node, DRIFT_STREAM]``, so the construction is
+
+    * **prefix-stable** -- extending the horizon extends both the
+      arrival and the uniform streams without perturbing their
+      prefixes, and
+    * **identity at zero drift** -- with ``scale = 1, amplitude = 0``
+      the mean gap is ``mtbf`` and every ``u < 1`` accepts, reproducing
+      :func:`generate_trace` bit-for-bit.
+
+    Bursts compose exactly as in :func:`generate_correlated_trace`
+    (``correlated.base_shape`` is rejected: thinning needs the
+    exponential envelope).
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if mtbf <= 0:
+        raise ValueError("mtbf must be > 0")
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    if correlated is not None and correlated.base_shape is not None:
+        raise ValueError(
+            "MTBF drift thins an exponential envelope and cannot "
+            "compose with a Weibull base_shape"
+        )
+    max_factor = drift.max_factor
+    base_gap = mtbf / max_factor
+    base: List[Tuple[float, ...]] = []
+    for node in range(nodes):
+        rng = np.random.default_rng([seed, node])
+        arrivals = _arrival_times(
+            lambda size: rng.exponential(base_gap, size=size),
+            base_gap, horizon,
+        )
+        accept_rng = np.random.default_rng(
+            [chaos_seed, seed, node, DRIFT_STREAM]
+        )
+        uniforms = accept_rng.random(len(arrivals))
+        base.append(tuple(
+            t for t, u in zip(arrivals, uniforms)
+            if float(u) * max_factor < drift.rate_factor(t)
+        ))
+    injected = 0
+    if correlated is not None:
+        merged, injected = _apply_burst_overlay(
+            base, nodes, horizon, seed, correlated, chaos_seed
+        )
+    else:
+        merged = tuple(base)
     return FailureTrace(
-        node_failures=tuple(node_failures),
+        node_failures=merged,
         mtbf=mtbf,
         seed=seed,
         horizon=horizon,
-        correlated=spec,
+        correlated=correlated,
         chaos_seed=chaos_seed,
         injected=injected,
+        drift=drift,
     )
 
 
@@ -362,6 +466,12 @@ def extend_trace(trace: FailureTrace, horizon: float) -> FailureTrace:
         raise ValueError("cannot extend a trace without a seed")
     if horizon <= trace.horizon:
         return trace
+    if trace.drift is not None:
+        return generate_drifting_trace(
+            trace.nodes, trace.mtbf, horizon, seed=trace.seed,
+            drift=trace.drift, chaos_seed=trace.chaos_seed,
+            correlated=trace.correlated,
+        )
     if trace.correlated is not None:
         return generate_correlated_trace(
             trace.nodes, trace.mtbf, horizon, seed=trace.seed,
@@ -378,16 +488,26 @@ def generate_trace_set(
     base_seed: int = 0,
     correlated: Optional[CorrelatedFailures] = None,
     chaos_seed: int = 0,
+    drift: Optional[MtbfDrift] = None,
 ) -> List[FailureTrace]:
     """The paper's protocol: ``count`` traces per unique MTBF (default 10).
 
     Seeds are ``base_seed + i`` so trace sets are reproducible and
     disjoint across experiments that pick different ``base_seed`` values.
     ``correlated`` layers a burst overlay on every trace (the chaos
-    layer's correlated-failure injection).
+    layer's correlated-failure injection); ``drift`` switches the base
+    streams to the thinned time-varying process.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
+    if drift is not None and drift.active:
+        return [
+            generate_drifting_trace(
+                nodes, mtbf, horizon, seed=base_seed + index,
+                drift=drift, chaos_seed=chaos_seed, correlated=correlated,
+            )
+            for index in range(count)
+        ]
     if correlated is not None:
         return [
             generate_correlated_trace(
@@ -404,7 +524,8 @@ def generate_trace_set(
 
 #: cache key: the full trace protocol, including any chaos overlay
 _TraceSetKey = Tuple[int, float, float, int, int,
-                     Optional[CorrelatedFailures], int]
+                     Optional[CorrelatedFailures], int,
+                     Optional[MtbfDrift]]
 
 #: process-global trace-set cache (see :func:`cached_trace_set`)
 _TRACE_SET_CACHE: Dict[_TraceSetKey, List[FailureTrace]] = {}
@@ -437,6 +558,7 @@ def cached_trace_set(
     base_seed: int = 0,
     correlated: Optional[CorrelatedFailures] = None,
     chaos_seed: int = 0,
+    drift: Optional[MtbfDrift] = None,
 ) -> List[FailureTrace]:
     """Process-global cached variant of :func:`generate_trace_set`.
 
@@ -457,7 +579,7 @@ def cached_trace_set(
     observability layer as ``cache.trace_set.hit`` / ``.miss``.
     """
     key: _TraceSetKey = (nodes, mtbf, horizon, count, base_seed,
-                         correlated, chaos_seed)
+                         correlated, chaos_seed, drift)
     traces = _TRACE_SET_CACHE.get(key)
     if traces is None:
         if len(_TRACE_SET_CACHE) >= _TRACE_SET_CAPACITY:
@@ -465,7 +587,7 @@ def cached_trace_set(
             _TRACE_CACHE_STATS["evictions"] += 1
         traces = generate_trace_set(
             nodes, mtbf, horizon, count=count, base_seed=base_seed,
-            correlated=correlated, chaos_seed=chaos_seed,
+            correlated=correlated, chaos_seed=chaos_seed, drift=drift,
         )
         _TRACE_SET_CACHE[key] = traces
         _TRACE_CACHE_STATS["misses"] += 1

@@ -8,6 +8,7 @@ pytest-benchmark targets; ``EXPERIMENTS.md`` records paper-vs-measured.
 """
 
 from . import (
+    adaptive_drift,
     cardinality_validation,
     fig1_success,
     fig8_queries,
@@ -21,6 +22,7 @@ from . import (
 )
 
 __all__ = [
+    "adaptive_drift",
     "cardinality_validation",
     "fig1_success",
     "fig8_queries",

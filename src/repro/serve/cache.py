@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 from .. import obs
 
@@ -35,6 +35,7 @@ class AdviceCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -68,6 +69,26 @@ class AdviceCache:
         if evicted:
             obs.add("serve.cache.evictions", evicted)
 
+    def invalidate(self, match: Callable[[Hashable], bool]) -> int:
+        """Evict every entry whose key satisfies ``match``.
+
+        The scope-targeted eviction behind the engine's hot
+        cluster-stats push: a stats-bucket change drops only the advice
+        computed for the superseded bucket, leaving everything else
+        warm.  Invalidations are counted separately from capacity
+        evictions (and are neither hits nor misses, so the
+        ``hits + misses == requests`` accounting the load harness checks
+        is untouched).  Returns the number of evicted entries.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if match(key)]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+        if stale:
+            obs.add("serve.cache.invalidations", len(stale))
+        return len(stale)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -90,4 +111,5 @@ class AdviceCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
             }

@@ -189,6 +189,9 @@ class AdvisoryEngine:
         self.sizer = ShardSizer()
         self._lock = threading.Lock()
         self._inflight: Dict[Hashable, _Inflight] = {}
+        #: last pushed canonical stats (see push_cluster_stats)
+        self._current_canonical: Optional[ClusterStats] = None
+        self._stats_pushes = 0
         # frontend state (started lazily by start())
         self._queue: Optional["queue.Queue"] = None
         self._workers: List[threading.Thread] = []
@@ -272,6 +275,46 @@ class AdvisoryEngine:
             del self._inflight[key]
         entry.event.set()
         return advice
+
+    def push_cluster_stats(self, stats: ClusterStats) -> Dict[str, Any]:
+        """Hot cluster-stats push: the cluster's effective statistics
+        changed; invalidate exactly the superseded cached advice.
+
+        Called by an observer that learns the cluster has drifted --
+        canonically the adaptive re-planner's ``on_replan`` hook
+        (:class:`repro.engine.adaptive.AdaptiveExecutor`), which passes
+        the refreshed stats every executed re-plan searched under.  The
+        push canonicalizes the stats; when the canonical bucket differs
+        from the previously pushed one, every cache entry computed for
+        the *superseded* bucket is evicted (advice keys carry the
+        canonical stats at a fixed position), and nothing else -- advice
+        for other buckets stays warm, and requests already quoting the
+        new bucket are untouched.  A push that lands in the same bucket
+        is a no-op beyond the bookkeeping: bucketing absorbs estimation
+        noise exactly as it does on the request path.
+
+        Runs under the engine lock, serialized with :meth:`advise`'s
+        publish step, so a concurrent request can never re-publish stale
+        advice after its bucket was invalidated.
+        """
+        obs.add("serve.stats_push")
+        canonical = self.canonical_stats(stats)
+        evicted = 0
+        with self._lock:
+            previous = self._current_canonical
+            self._current_canonical = canonical
+            self._stats_pushes += 1
+            changed = previous is not None and previous != canonical
+            if changed and self.cache is not None:
+                evicted = self.cache.invalidate(
+                    lambda key: isinstance(key, tuple) and len(key) > 1
+                    and key[1] == previous
+                )
+        return {
+            "canonical": canonical,
+            "changed": changed,
+            "evicted": evicted,
+        }
 
     def _compute(self, plan: Plan, canonical: ClusterStats,
                  scheme: str) -> Advice:
@@ -429,10 +472,16 @@ class AdvisoryEngine:
     # ------------------------------------------------------------------
     def metrics(self) -> Dict[str, Any]:
         """Cache and sizer state for ``/metrics`` and the harness."""
+        current = self._current_canonical
         payload: Dict[str, Any] = {
             "cache": (self.cache.stats() if self.cache is not None
                       else None),
             "inflight": len(self._inflight),
+            "stats_pushes": self._stats_pushes,
+            "cluster_stats": (
+                {"mtbf": current.mtbf, "mttr": current.mttr}
+                if current is not None else None
+            ),
             "shard_rates": {
                 str(bucket): rate
                 for bucket, rate in

@@ -10,16 +10,109 @@ This module provides the standard machinery:
   count) with an exact chi-square confidence interval;
 * :class:`MtbfTracker` -- an online tracker that ingests failures as
   they happen and exposes the current estimate, with optional
-  exponential decay so drifting hardware health is tracked.
+  exponential decay so drifting hardware health is tracked.  Its
+  :meth:`~MtbfTracker.ingest` watermark bridge is what the adaptive
+  re-planner (:mod:`repro.engine.adaptive`) feeds with the simulated
+  :class:`~repro.engine.timeline.Timeline`'s failure events.
+
+The chi-square quantile is computed here from scratch (regularized
+incomplete gamma inversion, stdlib ``math`` only): the package declares
+only ``numpy`` as a dependency, so importing :mod:`scipy` for one
+function would be an undeclared runtime requirement.  The implementation
+is pinned against scipy's ``chi2.ppf`` values in
+``tests/test_mtbf_estimation.py``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
-from scipy import stats as scipy_stats
+# ----------------------------------------------------------------------
+# chi-square quantile (regularized incomplete gamma inversion)
+# ----------------------------------------------------------------------
+
+#: relative convergence target of the series / continued fraction
+_GAMMAINC_EPS = 1e-16
+#: guard against division by zero in the modified Lentz algorithm
+_LENTZ_TINY = 1e-300
+
+
+def _regularized_lower_gamma(a: float, x: float) -> float:
+    """``P(a, x)``: the regularized lower incomplete gamma function.
+
+    Series expansion for ``x < a + 1`` (where it converges fast),
+    modified Lentz continued fraction for the complement ``Q(a, x)``
+    otherwise -- the classic split, accurate to ~1 ulp over the range
+    the chi-square CDF needs.
+    """
+    if x < 0 or a <= 0:
+        raise ValueError("require x >= 0 and a > 0")
+    if x <= 0.0:
+        return 0.0
+    log_prefactor = -x + a * math.log(x) - math.lgamma(a)
+    if x < a + 1.0:
+        term = 1.0 / a
+        total = term
+        n = a
+        while True:
+            n += 1.0
+            term *= x / n
+            total += term
+            if abs(term) < abs(total) * _GAMMAINC_EPS:
+                return total * math.exp(log_prefactor)
+    b = x + 1.0 - a
+    c = 1.0 / _LENTZ_TINY
+    d = 1.0 / b
+    h = d
+    i = 1
+    while True:
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _LENTZ_TINY:
+            d = _LENTZ_TINY
+        c = b + an / c
+        if abs(c) < _LENTZ_TINY:
+            c = _LENTZ_TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _GAMMAINC_EPS:
+            break
+        i += 1
+    return 1.0 - math.exp(log_prefactor) * h
+
+
+def chi2_ppf(p: float, df: float) -> float:
+    """Quantile of the chi-square distribution with ``df`` degrees.
+
+    Solves ``P(df/2, x/2) = p`` for ``x`` by bracketed bisection on the
+    regularized lower incomplete gamma function: monotone, no special
+    cases, converges to full double precision in ~70 evaluations.
+    Replaces ``scipy.stats.chi2.ppf`` (pinned equal in the test suite)
+    so the package's only runtime dependency stays ``numpy``.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    if df <= 0:
+        raise ValueError("df must be > 0")
+    a = df / 2.0
+    lo = 0.0
+    hi = max(a, 1.0)
+    while _regularized_lower_gamma(a, hi) < p:
+        lo = hi
+        hi *= 2.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mid <= lo or mid >= hi:  # bracket collapsed to adjacent floats
+            break
+        if _regularized_lower_gamma(a, mid) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 2.0 * (0.5 * (lo + hi))
 
 
 @dataclass(frozen=True)
@@ -39,6 +132,10 @@ class MtbfEstimate:
                 f"[{self.lower:.0f}, {upper}] "
                 f"({self.failures} failures over {self.node_time:.0f} "
                 f"node-seconds, {100 * self.confidence:.0f}% CI)")
+
+    def excludes(self, mtbf: float) -> bool:
+        """Is ``mtbf`` outside this confidence interval?"""
+        return mtbf < self.lower or mtbf > self.upper
 
 
 def estimate_mtbf(
@@ -67,7 +164,7 @@ def estimate_mtbf(
 
     node_time = observation_time * nodes
     alpha = 1.0 - confidence
-    lower = 2.0 * node_time / scipy_stats.chi2.ppf(
+    lower = 2.0 * node_time / chi2_ppf(
         1.0 - alpha / 2.0, 2 * failures + 2
     )
     if failures == 0:
@@ -75,7 +172,7 @@ def estimate_mtbf(
         upper = float("inf")
     else:
         point = node_time / failures
-        upper = 2.0 * node_time / scipy_stats.chi2.ppf(
+        upper = 2.0 * node_time / chi2_ppf(
             alpha / 2.0, 2 * failures
         )
     return MtbfEstimate(
@@ -110,7 +207,13 @@ class MtbfTracker:
     operation) and failures via :meth:`record_failure`.  With
     ``half_life`` set, old evidence decays so the estimate follows
     drifting failure rates -- the input a re-optimizing scheme
-    (:mod:`repro.engine.adaptive`) would consume in production.
+    (:mod:`repro.engine.adaptive`) consumes.
+
+    :meth:`ingest` is the online bridge from an event log: it replays
+    failure timestamps (e.g. the simulated timeline's ``NODE_FAILED``
+    events) past an internal watermark, interleaving decayed observation
+    time with the failures in timestamp order, so repeated calls with a
+    growing log are equivalent to one continuous feed.
     """
 
     def __init__(self, half_life: Optional[float] = None) -> None:
@@ -119,6 +222,7 @@ class MtbfTracker:
         self.half_life = half_life
         self._node_time = 0.0
         self._failures = 0.0
+        self._watermark = 0.0
 
     def observe(self, node_seconds: float) -> None:
         """Accumulate healthy observation time (node-seconds)."""
@@ -131,6 +235,48 @@ class MtbfTracker:
         if count < 0:
             raise ValueError("count must be >= 0")
         self._failures += count
+
+    def ingest(
+        self,
+        failure_times: Iterable[float],
+        upto: float,
+        nodes: int = 1,
+    ) -> int:
+        """Replay an event log's failure timestamps up to time ``upto``.
+
+        ``failure_times`` is the full log (any order; typically the
+        timeline's ``NODE_FAILED`` event times); only events strictly
+        after the last ingested watermark and at or before ``upto`` are
+        consumed, so calling again with a longer log and a later
+        ``upto`` continues exactly where the last call stopped.  Each
+        inter-event gap contributes ``gap * nodes`` node-seconds of
+        observation *before* its failure is recorded, which makes the
+        decay weighting identical to a continuous online feed.  Returns
+        the number of failures ingested by this call.
+        """
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if upto < self._watermark:
+            raise ValueError(
+                f"upto ({upto}) precedes the ingest watermark "
+                f"({self._watermark}); the log cannot run backwards"
+            )
+        fresh = sorted(
+            t for t in failure_times if self._watermark < t <= upto
+        )
+        last = self._watermark
+        for when in fresh:
+            self.observe((when - last) * nodes)
+            self.record_failure()
+            last = when
+        self.observe((upto - last) * nodes)
+        self._watermark = upto
+        return len(fresh)
+
+    @property
+    def watermark(self) -> float:
+        """Time up to which :meth:`ingest` has consumed the log."""
+        return self._watermark
 
     def _decay(self, elapsed: float) -> None:
         if self.half_life is None or elapsed <= 0:

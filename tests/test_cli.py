@@ -35,6 +35,7 @@ class TestParser:
         assert set(EXPERIMENTS) == {
             "fig1", "tab2", "fig8", "fig10", "fig11", "fig12", "tab3",
             "fig13", "cardval", "robustness", "multitenant",
+            "adaptive-drift",
         }
 
 

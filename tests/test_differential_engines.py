@@ -120,6 +120,112 @@ class TestFastVsNaiveUnderChaosStats:
         assert before.materialized_ids == after.materialized_ids
 
 
+class TestReplanFrontierSearches:
+    """Every recorded adaptive re-plan replays identically on every
+    engine.
+
+    A drifting adaptive run logs, per re-plan, the full pre-replan
+    configuration, the durable frontier, the runtime correction, and the
+    MTBF it searched under (:class:`repro.engine.adaptive.
+    Reconfiguration`).  That record is enough to reconstruct the exact
+    frontier search -- so the fast, naive, and sharded engines are each
+    replayed over it and compared with exact ``==``: mid-query searches
+    get the same differential guarantee as the initial one.
+    """
+
+    def _drifting_reconfigurations(self):
+        from repro.chaos import MtbfDrift
+        from repro.engine.adaptive import (
+            AdaptiveExecutor,
+            DriftEnvelope,
+            run_adaptive_with_extension,
+        )
+        from repro.engine.cluster import Cluster
+        from repro.engine.executor import SimulatedEngine
+        from repro.engine.traces import generate_drifting_trace
+
+        from .test_property_adaptive import MTBF, chain_plan
+
+        plan = chain_plan()
+        cluster = Cluster(nodes=4, mttr=10.0)
+        stats = cluster.stats(MTBF)
+        reconfigurations = []
+        for seed in (3, 9, 17):
+            engine = SimulatedEngine(cluster)
+            executor = AdaptiveExecutor(
+                engine, stats,
+                envelope=DriftEnvelope(mtbf_ratio=1.5, min_failures=2),
+            )
+            trace = generate_drifting_trace(
+                cluster.nodes, MTBF, horizon=200_000.0, seed=seed,
+                drift=MtbfDrift(scale=6.0),
+            )
+            result, _ = run_adaptive_with_extension(
+                executor, plan, trace
+            )
+            reconfigurations.extend(result.reconfigurations)
+        assert reconfigurations  # the drift must actually trigger
+        return plan, stats, reconfigurations
+
+    def test_replayed_replans_bit_identical_across_engines(self):
+        from repro.engine.adaptive import frontier_plan
+
+        plan, stats, reconfigurations = \
+            self._drifting_reconfigurations()
+        for reconfiguration in reconfigurations:
+            remaining = frontier_plan(
+                plan,
+                dict(reconfiguration.frozen_config),
+                set(reconfiguration.completed_ops),
+                reconfiguration.correction,
+            )
+            replan_stats = stats.with_mtbf(reconfiguration.stats_mtbf)
+            fast = find_best_ft_plan(
+                [remaining], replan_stats, pruning=PruningConfig.all(),
+                engine="fast",
+            )
+            naive = find_best_ft_plan(
+                [remaining], replan_stats, pruning=PruningConfig.all(),
+                engine="naive",
+            )
+            sharded = find_best_ft_plan(
+                [remaining], replan_stats, pruning=PruningConfig.all(),
+                engine="fast", shards=2,
+            )
+            assert fast.cost == naive.cost == sharded.cost
+            assert fast.mat_config == naive.mat_config \
+                == sharded.mat_config
+            assert fast.materialized_ids == naive.materialized_ids \
+                == sharded.materialized_ids
+
+    def test_replay_reproduces_the_recorded_decision(self):
+        """The replayed search picks exactly the flags the in-flight
+        re-plan committed to (the ``mat_config`` the record carries)."""
+        from repro.engine.adaptive import frontier_plan
+
+        plan, stats, reconfigurations = \
+            self._drifting_reconfigurations()
+        for reconfiguration in reconfigurations:
+            remaining = frontier_plan(
+                plan,
+                dict(reconfiguration.frozen_config),
+                set(reconfiguration.completed_ops),
+                reconfiguration.correction,
+            )
+            search = find_best_ft_plan(
+                [remaining], stats.with_mtbf(reconfiguration.stats_mtbf),
+                pruning=PruningConfig.all(),
+            )
+            searched = dict(search.plan.mat_config())
+            completed = set(reconfiguration.completed_ops)
+            expected = {
+                op_id: flag
+                for op_id, flag in searched.items()
+                if plan[op_id].free and op_id not in completed
+            }
+            assert dict(reconfiguration.mat_config) == expected
+
+
 class TestFastVsNaiveExactWaste:
     def test_exact_waste_integral_matches_too(self):
         plans = _candidate_plans("q5", 10.0)

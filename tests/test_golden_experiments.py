@@ -199,6 +199,46 @@ class TestGoldenExperiments:
         }
         _check(request, "robustness_small", payload)
 
+    def test_adaptive_drift_small_grid(self, request):
+        from repro.experiments import adaptive_drift
+
+        result = adaptive_drift.run(
+            query="Q5", scale_factor=100.0, trace_count=2,
+        )
+        # sanity invariants first, so a drifted pin fails with a
+        # readable cause
+        zero = result.rows[0]
+        assert zero.replans == 0
+        assert zero.identical_to_static
+        payload = {
+            "query": result.query,
+            "mtbf": result.mtbf,
+            "baseline": result.baseline,
+            "envelope": {
+                "mtbf_ratio": result.envelope.mtbf_ratio,
+                "runtime_ratio": result.envelope.runtime_ratio,
+                "min_failures": result.envelope.min_failures,
+                "confidence": result.envelope.confidence,
+                "use_ci": result.envelope.use_ci,
+            },
+            "config_labels": list(result.config_labels),
+            "rows": [
+                {
+                    "regime": row.regime,
+                    "effective_mtbf": row.effective_mtbf,
+                    "chosen_config": row.chosen_config,
+                    "oracle_config": row.oracle_config,
+                    "static_mean": row.static_mean,
+                    "adaptive_mean": row.adaptive_mean,
+                    "oracle_mean": row.oracle_mean,
+                    "replans": row.replans,
+                    "identical_to_static": row.identical_to_static,
+                }
+                for row in result.rows
+            ],
+        }
+        _check(request, "adaptive_drift_small", payload)
+
     def test_multitenant_small_grid(self, request):
         from repro.experiments import multitenant
 

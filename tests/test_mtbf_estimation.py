@@ -7,9 +7,191 @@ import pytest
 from repro.engine.traces import generate_trace
 from repro.stats.mtbf_estimation import (
     MtbfTracker,
+    chi2_ppf,
     estimate_from_trace,
     estimate_mtbf,
 )
+
+
+#: ``scipy.stats.chi2.ppf(p, df)`` reference values (scipy 1.17.1).
+#: The from-scratch quantile replaced the scipy dependency; these pins
+#: keep it honest across the CI range the estimator actually uses
+#: (df = 2k and 2k+2 for realistic failure counts) plus tail and
+#: fractional-probability extremes.
+SCIPY_CHI2_PPF = [
+    ((0.975, 2), 7.377758908227871),
+    ((0.025, 2), 0.05063561596857975),
+    ((0.975, 22), 36.78071208403556),
+    ((0.025, 20), 9.590777392264867),
+    ((0.995, 4), 14.860259000560243),
+    ((0.005, 8), 1.3444130870148099),
+    ((0.9, 12), 18.54934778670325),
+    ((0.1, 12), 6.303796059584324),
+    ((0.5, 6), 5.348120627447118),
+    ((0.975, 202), 243.25358758485277),
+    ((0.025, 200), 162.72798250184627),
+    ((0.99999, 2), 23.02585092994956),
+    ((1e-05, 2), 2.0000100000666688e-05),
+    ((0.6, 1), 0.7083263008007934),
+    ((0.3, 3), 1.4236522430352798),
+    ((0.95, 100), 124.34211340400407),
+    ((0.05, 1000), 927.594363020979),
+]
+
+
+class TestChiSquareQuantile:
+    @pytest.mark.parametrize("args,expected", SCIPY_CHI2_PPF)
+    def test_pins_scipy(self, args, expected):
+        p, df = args
+        assert math.isclose(chi2_ppf(p, df), expected, rel_tol=1e-9)
+
+    def test_monotone_in_p(self):
+        quantiles = [chi2_ppf(p, 8) for p in
+                     (0.01, 0.1, 0.5, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+        assert len(set(quantiles)) == len(quantiles)
+
+    def test_monotone_in_df(self):
+        quantiles = [chi2_ppf(0.95, df) for df in (1, 2, 4, 20, 200)]
+        assert quantiles == sorted(quantiles)
+
+    def test_median_tracks_df(self):
+        # chi2 median ~ df(1 - 2/(9 df))^3 (Wilson-Hilferty)
+        for df in (4, 10, 50):
+            approx = df * (1.0 - 2.0 / (9.0 * df)) ** 3
+            assert math.isclose(chi2_ppf(0.5, df), approx, rel_tol=0.01)
+
+    @pytest.mark.parametrize("p,df", [
+        (0.0, 2), (1.0, 2), (-0.1, 2), (0.5, 0), (0.5, -1),
+    ])
+    def test_validation(self, p, df):
+        with pytest.raises(ValueError):
+            chi2_ppf(p, df)
+
+
+class TestIntervalPinsVsScipy:
+    """The chi-square CI bounds pinned against a scipy-backed run.
+
+    Computed with ``2T / scipy.stats.chi2.ppf(...)`` (scipy 1.17.1);
+    guards the whole ``estimate_mtbf`` pipeline, not just the quantile.
+    """
+
+    @pytest.mark.parametrize("kwargs,mtbf,lower,upper", [
+        ({"failures": 3, "observation_time": 1000.0, "nodes": 4,
+          "confidence": 0.95},
+         1333.3333333333333, 456.24220532206635, 6465.46022031606),
+        ({"failures": 0, "observation_time": 500.0, "nodes": 10,
+          "confidence": 0.95},
+         float("inf"), 1355.4251534090843, float("inf")),
+        ({"failures": 11, "observation_time": 3600.0, "nodes": 10,
+          "confidence": 0.9},
+         3272.7272727272725, 1977.2056472900074, 5835.622866240553),
+    ])
+    def test_pins(self, kwargs, mtbf, lower, upper):
+        estimate = estimate_mtbf(**kwargs)
+        if math.isinf(mtbf):
+            assert math.isinf(estimate.mtbf)
+        else:
+            assert math.isclose(estimate.mtbf, mtbf, rel_tol=1e-9)
+        assert math.isclose(estimate.lower, lower, rel_tol=1e-9)
+        if math.isinf(upper):
+            assert math.isinf(estimate.upper)
+        else:
+            assert math.isclose(estimate.upper, upper, rel_tol=1e-9)
+
+
+class TestExcludes:
+    def test_point_is_never_excluded(self):
+        estimate = estimate_mtbf(7, observation_time=700.0)
+        assert not estimate.excludes(estimate.mtbf)
+
+    def test_bounds_are_inclusive(self):
+        estimate = estimate_mtbf(7, observation_time=700.0)
+        assert not estimate.excludes(estimate.lower)
+        assert not estimate.excludes(estimate.upper)
+
+    def test_outside_either_bound_is_excluded(self):
+        estimate = estimate_mtbf(7, observation_time=700.0)
+        assert estimate.excludes(estimate.lower * 0.99)
+        assert estimate.excludes(estimate.upper * 1.01)
+
+    def test_zero_failures_never_excludes_above_lower(self):
+        estimate = estimate_mtbf(0, observation_time=1000.0)
+        assert not estimate.excludes(1e12)
+        assert estimate.excludes(estimate.lower * 0.5)
+
+
+class TestIngest:
+    def test_matches_manual_feed_exactly(self):
+        """Ingesting a log == hand-feeding the same gaps (bit-equal)."""
+        ingested = MtbfTracker()
+        ingested.ingest([10.0, 30.0, 75.0], upto=100.0, nodes=2)
+        manual = MtbfTracker()
+        for gap in (10.0, 20.0, 45.0):
+            manual.observe(gap * 2)
+            manual.record_failure()
+        manual.observe(25.0 * 2)
+        assert ingested.node_time == manual.node_time
+        assert ingested.failures == manual.failures
+        assert ingested.mtbf == manual.mtbf
+
+    def test_incremental_equals_one_shot(self):
+        """Growing log + later upto continues where the last call
+        stopped: two-step ingest is bit-identical to one-shot."""
+        log = [5.0, 12.0, 40.0, 61.0, 90.0]
+        stepped = MtbfTracker()
+        assert stepped.ingest(log[:2], upto=30.0, nodes=3) == 2
+        assert stepped.ingest(log, upto=100.0, nodes=3) == 3
+        oneshot = MtbfTracker()
+        assert oneshot.ingest(log, upto=100.0, nodes=3) == 5
+        assert stepped.node_time == oneshot.node_time
+        assert stepped.failures == oneshot.failures
+        assert stepped.watermark == oneshot.watermark
+
+    def test_incremental_decay_weights_failures_identically(self):
+        """With forgetting on, each failure's decayed weight depends
+        only on the node-seconds observed after it -- not on how the
+        log was chunked into ingest calls.  (Observation *time* may
+        differ: a gap ingested as one lump decays as a whole, which is
+        why the bit-identity test above runs without decay.)"""
+        log = [5.0, 12.0, 40.0, 61.0, 90.0]
+        stepped = MtbfTracker(half_life=50.0)
+        stepped.ingest(log[:2], upto=30.0, nodes=3)
+        stepped.ingest(log, upto=100.0, nodes=3)
+        oneshot = MtbfTracker(half_life=50.0)
+        oneshot.ingest(log, upto=100.0, nodes=3)
+        assert stepped.failures == pytest.approx(
+            oneshot.failures, rel=1e-12
+        )
+        assert stepped.watermark == oneshot.watermark
+
+    def test_unordered_log_is_sorted(self):
+        shuffled = MtbfTracker()
+        shuffled.ingest([75.0, 10.0, 30.0], upto=100.0)
+        ordered = MtbfTracker()
+        ordered.ingest([10.0, 30.0, 75.0], upto=100.0)
+        assert shuffled.node_time == ordered.node_time
+        assert shuffled.failures == ordered.failures
+
+    def test_old_events_not_recounted(self):
+        tracker = MtbfTracker()
+        assert tracker.ingest([10.0], upto=20.0) == 1
+        # same event resubmitted with a longer log: only the new one
+        assert tracker.ingest([10.0, 25.0], upto=30.0) == 1
+        assert tracker.failures == 2
+
+    def test_future_events_wait_for_upto(self):
+        tracker = MtbfTracker()
+        assert tracker.ingest([10.0, 50.0], upto=20.0) == 1
+        assert tracker.watermark == 20.0
+
+    def test_backwards_upto_rejected(self):
+        tracker = MtbfTracker()
+        tracker.ingest([], upto=50.0)
+        with pytest.raises(ValueError):
+            tracker.ingest([], upto=40.0)
+        with pytest.raises(ValueError):
+            tracker.ingest([1.0], upto=10.0, nodes=0)
 
 
 class TestPointEstimate:

@@ -356,6 +356,109 @@ class TestAdvisoryEngine:
 # ----------------------------------------------------------------------
 # the bounded-queue frontend
 # ----------------------------------------------------------------------
+class TestStatsPush:
+    """Hot cluster-stats push: bucket-scoped cache invalidation."""
+
+    OLD = ClusterStats(mtbf=3600.0, mttr=1.0, nodes=10)
+    OTHER = ClusterStats(mtbf=86400.0, mttr=1.0, nodes=10)
+    NEW = ClusterStats(mtbf=600.0, mttr=5.0, nodes=10)
+
+    def test_first_push_establishes_baseline(self):
+        engine = small_engine()
+        result = engine.push_cluster_stats(self.OLD)
+        assert result["changed"] is False
+        assert result["evicted"] == 0
+        metrics = engine.metrics()
+        assert metrics["stats_pushes"] == 1
+        assert metrics["cluster_stats"] == {
+            "mtbf": result["canonical"].mtbf,
+            "mttr": result["canonical"].mttr,
+        }
+
+    def test_invalidation_evicts_only_the_superseded_bucket(
+        self, paper_plan, chain_plan
+    ):
+        engine = small_engine()
+        engine.push_cluster_stats(self.OLD)
+        engine.advise(paper_plan, self.OLD)    # two entries in the
+        engine.advise(chain_plan, self.OLD)    # pushed bucket...
+        engine.advise(paper_plan, self.OTHER)  # ...one elsewhere
+        assert len(engine.cache) == 3
+        result = engine.push_cluster_stats(self.NEW)
+        assert result["changed"] is True
+        assert result["evicted"] == 2
+        assert engine.cache.stats()["invalidations"] == 2
+        assert len(engine.cache) == 1
+        # the untouched bucket stays warm: re-asking is a pure hit
+        hits = engine.cache.stats()["hits"]
+        engine.advise(paper_plan, self.OTHER)
+        assert engine.cache.stats()["hits"] == hits + 1
+
+    def test_same_bucket_push_evicts_nothing(self, paper_plan):
+        """Bucketing absorbs estimation noise on the push path exactly
+        as on the request path."""
+        engine = small_engine()
+        engine.push_cluster_stats(self.OLD)
+        engine.advise(paper_plan, self.OLD)
+        jittered = ClusterStats(mtbf=3610.0, mttr=1.01, nodes=10)
+        assert engine.canonical_stats(jittered) \
+            == engine.canonical_stats(self.OLD)
+        result = engine.push_cluster_stats(jittered)
+        assert result["changed"] is False
+        assert result["evicted"] == 0
+        assert len(engine.cache) == 1
+        assert engine.metrics()["stats_pushes"] == 2
+
+    def test_invalidated_key_recomputes_fresh(self, paper_plan):
+        """After its bucket is pushed out, the same request is a miss
+        and recomputes -- and the answer still equals a direct search."""
+        engine = small_engine()
+        engine.push_cluster_stats(self.OLD)
+        first = engine.advise(paper_plan, self.OLD)
+        engine.push_cluster_stats(self.NEW)
+        misses = engine.cache.stats()["misses"]
+        again = engine.advise(paper_plan, self.OLD)
+        assert engine.cache.stats()["misses"] == misses + 1
+        assert again == first  # same canonical inputs, same answer
+        assert again == direct_advice(paper_plan, self.OLD, engine)
+
+    def test_hit_miss_accounting_survives_pushes(
+        self, paper_plan, chain_plan
+    ):
+        """Invalidations are neither hits nor misses: after any mix of
+        advises and pushes, hits + misses == advise calls."""
+        engine = small_engine()
+        calls = 0
+        engine.push_cluster_stats(self.OLD)
+        for plan in (paper_plan, chain_plan, paper_plan):
+            engine.advise(plan, self.OLD)
+            calls += 1
+        engine.push_cluster_stats(self.NEW)
+        for plan in (paper_plan, chain_plan):
+            engine.advise(plan, self.OLD)
+            calls += 1
+        stats = engine.cache.stats()
+        assert stats["hits"] + stats["misses"] == calls
+        assert stats["invalidations"] > 0
+
+    def test_push_and_invalidation_counters_fire(self, paper_plan):
+        engine = small_engine()
+        with obs.recording() as recorder:
+            engine.push_cluster_stats(self.OLD)
+            engine.advise(paper_plan, self.OLD)
+            engine.push_cluster_stats(self.NEW)
+        counters = dict(recorder.snapshot().counters)
+        assert counters["serve.stats_push"] == 2
+        assert counters["serve.cache.invalidations"] == 1
+
+    def test_cache_disabled_push_is_safe(self):
+        engine = small_engine(cache_size=0)
+        engine.push_cluster_stats(self.OLD)
+        result = engine.push_cluster_stats(self.NEW)
+        assert result["changed"] is True
+        assert result["evicted"] == 0
+
+
 class TestFrontend:
     def test_submit_result_roundtrip(self, paper_plan):
         engine = small_engine()
